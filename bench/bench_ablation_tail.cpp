@@ -1,0 +1,76 @@
+// Ablation: task-length tail model (DESIGN.md §5).
+//
+// Fig 4's mass-count disparity (6/94) and Fig 13's host-load noise both
+// hinge on the heavy service tail. This ablation compares the full
+// lognormal+bounded-Pareto mixture against a lognormal-only model and a
+// tail-free truncation, reporting the joint ratio, mean, and the host
+// concurrency each would imply.
+#include <cstdio>
+
+#include "common.hpp"
+#include "stats/distributions.hpp"
+#include "stats/mass_count.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cgc;
+  bench::print_header("ablation_tail",
+                      "Task-length tail ablation (DESIGN.md §5)");
+
+  const std::size_t n = bench::fast_mode() ? 100000 : 400000;
+  util::Rng rng(2012);
+
+  struct Variant {
+    const char* name;
+    stats::DistributionPtr dist;
+  };
+  const auto body = std::make_shared<stats::LogNormal>(390.0, 1.05);
+  const auto tail =
+      std::make_shared<stats::BoundedPareto>(3.0 * 3600, 29.0 * 86400, 0.19);
+  const std::vector<Variant> variants = {
+      {"lognormal body only", body},
+      {"mixture 6% bounded-Pareto tail (the model)",
+       std::make_shared<stats::Mixture>(
+           std::vector<stats::DistributionPtr>{body, tail},
+           std::vector<double>{0.94, 0.06})},
+      {"mixture, light tail (alpha=1.5)",
+       std::make_shared<stats::Mixture>(
+           std::vector<stats::DistributionPtr>{
+               body, std::make_shared<stats::BoundedPareto>(
+                         3.0 * 3600, 29.0 * 86400, 1.5)},
+           std::vector<double>{0.94, 0.06})},
+      {"mixture, fat tail (alpha=0.05)",
+       std::make_shared<stats::Mixture>(
+           std::vector<stats::DistributionPtr>{
+               body, std::make_shared<stats::BoundedPareto>(
+                         3.0 * 3600, 29.0 * 86400, 0.05)},
+           std::vector<double>{0.94, 0.06})},
+  };
+
+  util::AsciiTable table({"length model", "mean (h)", "joint ratio",
+                          "mm-dist (d)", "P(<1h)"});
+  for (const Variant& v : variants) {
+    const auto sample = stats::sample_many(*v.dist, n, rng);
+    const auto mc = stats::mass_count_disparity(sample);
+    std::size_t under_1h = 0;
+    double total = 0.0;
+    for (const double x : sample) {
+      total += x;
+      if (x < 3600.0) {
+        ++under_1h;
+      }
+    }
+    table.add_row(
+        {v.name, util::cell(total / static_cast<double>(n) / 3600.0, 3),
+         util::cell_ratio(mc.joint_ratio_mass, mc.joint_ratio_count),
+         util::cell(mc.mm_distance / 86400.0, 3),
+         util::cell_pct(static_cast<double>(under_1h) /
+                        static_cast<double>(n))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: without the Pareto tail the joint ratio decays "
+              "toward\n~25/75 and the mean collapses to minutes — the "
+              "paper's 6/94 @ 5.6 h\nrequires the heavy-tailed mixture.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/characterization.hpp"
+#include "trace/google_format.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace cgc::bench {
+
+namespace {
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : value;
+}
+
+std::string cache_dir() { return env_or("CGC_BENCH_CACHE", "bench_cache"); }
+
+/// Loads a cached host-load trace or simulates and caches it.
+trace::TraceSet cached_or_simulate(const std::string& key,
+                                   trace::TraceSet (*simulate)()) {
+  const std::string dir = cache_dir() + "/" + key;
+  if (std::filesystem::exists(dir + "/task_events.csv")) {
+    CGC_LOG(kInfo) << "loading cached host-load trace from " << dir;
+    return trace::read_google_trace(dir, key);
+  }
+  trace::TraceSet trace = simulate();
+  CGC_LOG(kInfo) << "caching host-load trace to " << dir;
+  trace::write_google_trace(trace, dir);
+  return trace;
+}
+
+std::string scale_key() {
+  return fast_mode() ? "fast" : "full";
+}
+
+}  // namespace
+
+bool fast_mode() {
+  const char* value = std::getenv("CGC_BENCH_FAST");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+util::TimeSec workload_horizon() {
+  return (fast_mode() ? 4 : 30) * util::kSecondsPerDay;
+}
+
+util::TimeSec hostload_horizon() {
+  return (fast_mode() ? 6 : 30) * util::kSecondsPerDay;
+}
+
+std::size_t google_machines() { return fast_mode() ? 24 : 64; }
+
+std::size_t grid_machines() { return fast_mode() ? 12 : 32; }
+
+std::string out_dir() {
+  const std::string dir = env_or("CGC_BENCH_OUT", "bench_out");
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+trace::TraceSet google_workload(double task_sampling_rate) {
+  gen::GoogleModelConfig config;
+  config.task_sampling_rate = task_sampling_rate;
+  return gen::GoogleWorkloadModel(config).generate_workload(
+      workload_horizon());
+}
+
+trace::TraceSet grid_workload(const std::string& name) {
+  return gen::GridWorkloadModel(preset_by_name(name))
+      .generate_workload(workload_horizon());
+}
+
+gen::GridSystemPreset preset_by_name(const std::string& name) {
+  for (gen::GridSystemPreset& preset : gen::presets::all()) {
+    if (preset.name == name) {
+      return preset;
+    }
+  }
+  CGC_CHECK_MSG(false, "unknown grid system: " + name);
+  return {};
+}
+
+trace::TraceSet google_hostload() {
+  return cached_or_simulate("google_" + scale_key(), [] {
+    gen::GoogleModelConfig config;
+    sim::SimConfig sim_config;
+    return Characterization::simulate_google_hostload(
+        config, sim_config, google_machines(), hostload_horizon());
+  });
+}
+
+trace::TraceSet grid_hostload(const std::string& name) {
+  static std::string requested;  // captured by the cache lambda
+  requested = name;
+  return cached_or_simulate(
+      analysis::sanitize_name(name) + "_" + scale_key(), [] {
+        return Characterization::simulate_grid_hostload(
+            preset_by_name(requested), grid_machines(), hostload_horizon());
+      });
+}
+
+void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("scale: %s (set CGC_BENCH_FAST=1 for a quick run)\n",
+              fast_mode() ? "fast" : "full");
+  std::printf("================================================================\n");
+}
+
+void print_comparison(const std::string& metric, const std::string& paper,
+                      const std::string& measured) {
+  std::printf("  %-46s paper: %-14s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+void print_comparison(const std::string& metric, double paper,
+                      double measured, int digits) {
+  print_comparison(metric, util::cell(paper, digits),
+                   util::cell(measured, digits));
+}
+
+void print_series_note(const std::string& dat_hint) {
+  std::printf("\n  plot series written under %s/ (%s)\n", out_dir().c_str(),
+              dat_hint.c_str());
+}
+
+}  // namespace cgc::bench

@@ -1,0 +1,66 @@
+// Shared infrastructure for the reproduction benches.
+//
+// Every bench_* binary regenerates one table or figure of the paper:
+// it builds (or loads from the on-disk cache) the standard traces,
+// runs the corresponding analyzer, prints the series/rows, and prints a
+// paper-vs-measured block that EXPERIMENTS.md quotes.
+//
+// Environment knobs:
+//   CGC_BENCH_FAST=1      quarter-scale run (smoke-testing the harness)
+//   CGC_BENCH_CACHE=DIR   host-load trace cache (default ./bench_cache)
+//   CGC_BENCH_OUT=DIR     .dat output directory (default ./bench_out)
+#pragma once
+
+#include <string>
+
+#include "gen/google_model.hpp"
+#include "gen/grid_model.hpp"
+#include "sim/config.hpp"
+#include "trace/trace_set.hpp"
+
+namespace cgc::bench {
+
+/// True when CGC_BENCH_FAST is set: benches shrink to smoke-test scale.
+bool fast_mode();
+
+/// Scale knobs derived from fast_mode().
+util::TimeSec workload_horizon();   ///< 30 d (fast: 4 d)
+util::TimeSec hostload_horizon();   ///< 30 d (fast: 6 d)
+std::size_t google_machines();      ///< 64 (fast: 24)
+std::size_t grid_machines();        ///< 32 (fast: 12)
+
+/// Output directory for .dat series (created on demand).
+std::string out_dir();
+
+/// Full-rate Google workload trace (Figs 2-6, Table I). Tasks are
+/// sampled at `task_sampling_rate` to bound memory at month scale.
+trace::TraceSet google_workload(double task_sampling_rate = 0.3);
+
+/// Grid workload trace for a named preset.
+trace::TraceSet grid_workload(const std::string& name);
+
+/// Simulated Google host-load trace (Figs 7-13, Tables II-III), cached
+/// on disk under CGC_BENCH_CACHE between bench invocations — the first
+/// bench pays the simulation, later ones reload via the clusterdata
+/// reader (which doubles as an IO-path exercise).
+trace::TraceSet google_hostload();
+
+/// Simulated grid host-load trace for "AuverGrid" or "SHARCNET" (Fig 13).
+trace::TraceSet grid_hostload(const std::string& name);
+
+/// Finds a preset by system name; throws on unknown names.
+gen::GridSystemPreset preset_by_name(const std::string& name);
+
+/// Prints the bench banner.
+void print_header(const std::string& id, const std::string& title);
+
+/// Prints one paper-vs-measured comparison row.
+void print_comparison(const std::string& metric, const std::string& paper,
+                      const std::string& measured);
+void print_comparison(const std::string& metric, double paper,
+                      double measured, int digits = 3);
+
+/// Prints the section separator for the raw-series part of the output.
+void print_series_note(const std::string& dat_hint);
+
+}  // namespace cgc::bench

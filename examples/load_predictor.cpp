@@ -1,0 +1,57 @@
+// Host-load prediction — the paper's stated future work ("we will try to
+// exploit the best-fit load prediction method based on our
+// characterization work"), built on the cgc::predict module.
+//
+// Simulates Cloud and Grid host load, runs the standard predictor suite
+// (last-value, moving averages, exponential smoothing, adaptive AR(1))
+// on both, and reports the per-system errors — quantifying the paper's
+// conclusion that Cloud host load is far harder to predict.
+//
+// Usage: load_predictor [machines] [days]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/characterization.hpp"
+#include "predict/evaluation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cgc;
+  std::size_t machines = 24;
+  int days = 8;
+  if (argc > 1) {
+    machines = static_cast<std::size_t>(std::atoll(argv[1]));
+  }
+  if (argc > 2) {
+    days = std::atoi(argv[2]);
+  }
+  const util::TimeSec horizon = days * util::kSecondsPerDay;
+
+  std::printf("simulating Cloud and Grid host load (%zu machines, %d "
+              "days)...\n\n",
+              machines, days);
+  gen::GoogleModelConfig google_config;
+  sim::SimConfig sim_config;
+  const trace::TraceSet google = Characterization::simulate_google_hostload(
+      google_config, sim_config, machines, horizon);
+  const trace::TraceSet auvergrid = Characterization::simulate_grid_hostload(
+      gen::presets::auvergrid(), machines / 2, horizon);
+
+  const auto google_results =
+      predict::evaluate_standard_suite(google, analysis::Metric::kCpu);
+  const auto grid_results =
+      predict::evaluate_standard_suite(auvergrid, analysis::Metric::kCpu);
+  std::printf("%s\n",
+              predict::render_comparison("Google CPU", google_results,
+                                         "AuverGrid CPU", grid_results)
+                  .c_str());
+
+  std::printf(
+      "Reading: the raw (last-value) error is several times higher on the\n"
+      "Cloud trace — the paper's conclusion that Google host load is far\n"
+      "harder to predict (higher noise, weaker autocorrelation) made\n"
+      "operational. Smoothing helps the Cloud (noise-dominated) but adds\n"
+      "lag on the Grid (transition-dominated), so the best predictor\n"
+      "differs per system — motivating per-system model selection, and\n"
+      "the adaptive AR(1) predictor tracks both by learning phi online.\n");
+  return 0;
+}

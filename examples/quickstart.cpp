@@ -1,0 +1,47 @@
+// Quickstart: run a small end-to-end characterization and print the
+// headline Cloud-vs-Grid findings.
+//
+// Usage: quickstart [workload_days] [hostload_days] [google_machines]
+//
+// This exercises the whole public API: calibrated generators, the
+// cluster simulator, and every analyzer, through cgc::Characterization.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/characterization.hpp"
+
+int main(int argc, char** argv) {
+  cgc::CharacterizationConfig config;
+  // Small defaults so the quickstart finishes in seconds; pass larger
+  // windows to approach the paper's month-long statistics.
+  config.workload_horizon = 2 * cgc::util::kSecondsPerDay;
+  config.hostload_horizon = 6 * cgc::util::kSecondsPerDay;
+  config.google_machines = 48;
+  config.grid_machines = 16;
+  if (argc > 1) {
+    config.workload_horizon =
+        std::atoll(argv[1]) * cgc::util::kSecondsPerDay;
+  }
+  if (argc > 2) {
+    config.hostload_horizon =
+        std::atoll(argv[2]) * cgc::util::kSecondsPerDay;
+  }
+  if (argc > 3) {
+    config.google_machines = static_cast<std::size_t>(std::atoll(argv[3]));
+  }
+
+  cgc::Characterization study(config);
+  const cgc::CharacterizationReport& report = study.run();
+
+  std::cout << report.render_summary() << "\n";
+
+  const auto google_summary = study.google_workload().summary();
+  std::cout << "google workload: " << google_summary.num_jobs << " jobs, "
+            << google_summary.num_tasks << " tasks\n";
+  const auto hostload_summary = study.google_hostload().summary();
+  std::cout << "google host load: " << hostload_summary.num_machines
+            << " machines, " << hostload_summary.num_samples
+            << " usage samples, " << hostload_summary.num_events
+            << " task events\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Trace generation and format conversion CLI.
+//
+// Demonstrates the trace-IO layer: generate calibrated synthetic traces
+// and convert between the Google clusterdata-style directory layout and
+// the SWF / GWA archive formats.
+//
+// Usage:
+//   trace_convert generate google <out_dir> [days]
+//   trace_convert generate <grid_system> <out.gwf> [days]
+//   trace_convert google-to-swf <google_dir> <out.swf>
+//   trace_convert gwa-to-swf <in.gwf> <out.swf>
+//   trace_convert swf-to-gwa <in.swf> <out.gwf>
+//   trace_convert info <google_dir | file.swf | file.gwf>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gen/google_model.hpp"
+#include "gen/grid_model.hpp"
+#include "sim/cluster_sim.hpp"
+#include "trace/google_format.hpp"
+#include "trace/gwa_format.hpp"
+#include "trace/swf_format.hpp"
+#include "trace/validate.hpp"
+#include "util/time_util.hpp"
+
+namespace {
+
+using namespace cgc;
+
+void print_summary(const trace::TraceSet& trace) {
+  const trace::TraceSummary s = trace.summary();
+  std::printf("system: %s\n", trace.system_name().c_str());
+  std::printf("  duration: %s\n",
+              util::format_duration(s.duration).c_str());
+  std::printf("  jobs: %zu, tasks: %zu, events: %zu\n", s.num_jobs,
+              s.num_tasks, s.num_events);
+  std::printf("  machines: %zu, usage samples: %zu\n", s.num_machines,
+              s.num_samples);
+  if (s.num_events > 0) {
+    std::printf("  abnormal completion fraction: %.1f%%\n",
+                s.abnormal_completion_fraction * 100.0);
+  }
+  const auto issues = trace::validate(trace);
+  std::printf("  validation: %s\n",
+              issues.empty()
+                  ? "OK"
+                  : (std::to_string(issues.size()) + " issue(s), first: " +
+                     issues[0].message)
+                        .c_str());
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+trace::TraceSet load_any(const std::string& path) {
+  if (ends_with(path, ".swf")) {
+    return trace::read_swf(path, "swf-trace");
+  }
+  if (ends_with(path, ".gwf")) {
+    return trace::read_gwa(path, "gwa-trace");
+  }
+  return trace::read_google_trace(path);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_convert generate google <out_dir> [days]\n"
+               "  trace_convert generate <grid_system> <out.gwf> [days]\n"
+               "  trace_convert google-to-swf <google_dir> <out.swf>\n"
+               "  trace_convert gwa-to-swf <in.gwf> <out.swf>\n"
+               "  trace_convert swf-to-gwa <in.swf> <out.gwf>\n"
+               "  trace_convert info <google_dir | file.swf | file.gwf>\n"
+               "grid systems: AuverGrid NorduGrid SHARCNET ANL RICC "
+               "METACENTRUM LLNL-Atlas DAS-2\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") {
+      if (argc < 4) {
+        return usage();
+      }
+      const std::string what = argv[2];
+      const std::string out = argv[3];
+      const int days = argc > 4 ? std::atoi(argv[4]) : 2;
+      const util::TimeSec horizon = days * util::kSecondsPerDay;
+      if (what == "google") {
+        // A compact host-load simulation: produces all three tables.
+        gen::GoogleModelConfig config;
+        gen::GoogleWorkloadModel model(config);
+        sim::SimConfig sim_config;
+        sim_config.horizon = horizon;
+        sim::ClusterSim sim(model.make_machines(16), sim_config);
+        const trace::TraceSet trace =
+            sim.run(model.generate_sim_workload(horizon, 16), "google");
+        trace::write_google_trace(trace, out);
+        std::printf("wrote Google-format trace to %s/\n", out.c_str());
+        print_summary(trace);
+      } else {
+        for (const gen::GridSystemPreset& preset : gen::presets::all()) {
+          if (preset.name == what) {
+            const trace::TraceSet trace =
+                gen::GridWorkloadModel(preset).generate_workload(horizon);
+            trace::write_gwa(trace, out);
+            std::printf("wrote GWA trace to %s\n", out.c_str());
+            print_summary(trace);
+            return 0;
+          }
+        }
+        std::fprintf(stderr, "unknown system: %s\n", what.c_str());
+        return 2;
+      }
+    } else if (command == "google-to-swf") {
+      if (argc < 4) {
+        return usage();
+      }
+      const trace::TraceSet trace = trace::read_google_trace(argv[2]);
+      trace::write_swf(trace, argv[3]);
+      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
+    } else if (command == "gwa-to-swf") {
+      if (argc < 4) {
+        return usage();
+      }
+      const trace::TraceSet trace = trace::read_gwa(argv[2], "gwa-trace");
+      trace::write_swf(trace, argv[3]);
+      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
+    } else if (command == "swf-to-gwa") {
+      if (argc < 4) {
+        return usage();
+      }
+      const trace::TraceSet trace = trace::read_swf(argv[2], "swf-trace");
+      trace::write_gwa(trace, argv[3]);
+      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
+    } else if (command == "info") {
+      print_summary(load_any(argv[2]));
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

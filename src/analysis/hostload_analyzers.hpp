@@ -1,0 +1,162 @@
+// Host-load analyzers: Section IV of the paper (machines).
+//
+//   Fig 7      PDF of normalized maximum host load per capacity group
+//   Fig 8      task events + queuing state on a host; completion mix
+//   Fig 9      mass-count of unchanged running-queue-state durations
+//   Fig 10     usage-level snapshot over sampled machines
+//   Tables II/III  durations of unchanged CPU/memory usage level
+//   Figs 11/12 mass-count of relative CPU/memory usage
+//   Fig 13     Cloud-vs-Grid host-load series, noise, autocorrelation
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "stats/mass_count.hpp"
+#include "stats/timeseries.hpp"
+#include "trace/trace_set.hpp"
+
+namespace cgc::analysis {
+
+/// Which resource a host-load analyzer should look at.
+enum class Metric : std::uint8_t { kCpu = 0, kMem = 1 };
+std::string_view metric_name(Metric metric);
+
+// ---- Fig 7 -------------------------------------------------------------------
+struct MaxLoadDistribution {
+  struct Group {
+    double capacity = 0.0;
+    std::vector<double> max_loads;  ///< one entry per machine in the group
+  };
+  /// Groups keyed by the relevant capacity (CPU groups for cpu,
+  /// memory groups for mem/mem_assigned, the single page-cache group).
+  std::vector<Group> cpu;
+  std::vector<Group> mem;
+  std::vector<Group> mem_assigned;
+  std::vector<Group> page_cache;
+
+  /// One figure per attribute, PDF histograms per capacity group.
+  std::vector<Figure> to_figures(std::size_t num_bins = 40) const;
+};
+
+MaxLoadDistribution analyze_max_host_load(const trace::TraceSet& trace);
+
+// ---- Fig 8 -------------------------------------------------------------------
+struct QueueStateReport {
+  std::int64_t machine_id = -1;
+  /// Per-sample queue state on the machine: time, pending, running,
+  /// cumulative finished, cumulative abnormal.
+  Figure queue_figure;
+  /// Task event timeline on the machine: time, slot, event code.
+  Figure events_figure;
+  /// Cluster-wide completion mix (the paper's 59.2% / 50% / 30.7%).
+  double abnormal_fraction = 0.0;
+  double fail_share_of_abnormal = 0.0;
+  double kill_share_of_abnormal = 0.0;
+  double evict_share_of_abnormal = 0.0;
+  double lost_share_of_abnormal = 0.0;
+  std::int64_t total_completions = 0;
+};
+
+/// `machine_id` < 0 picks the busiest machine.
+QueueStateReport analyze_queue_state(const trace::TraceSet& trace,
+                                     std::int64_t machine_id = -1);
+
+// ---- Fig 9 -------------------------------------------------------------------
+struct QueueRunMassCount {
+  struct Bucket {
+    int lo = 0;             ///< running-task interval [lo, hi]
+    int hi = 0;
+    std::size_t num_runs = 0;
+    stats::MassCountResult mass_count;
+  };
+  std::vector<Bucket> buckets;
+  Figure figure;  ///< count/mass curves per bucket
+};
+
+/// Run-length analysis of the per-machine running-task count, bucketed
+/// into [0,9], [10,19], ..., [50,inf). Durations in minutes.
+QueueRunMassCount analyze_queue_run_mass_count(const trace::TraceSet& trace);
+
+// ---- Fig 10 -------------------------------------------------------------------
+/// Usage-level snapshot: for `num_machines` sampled machines, the
+/// quantized (5-level) relative usage over time.
+/// Rows: time_day, machine_index, level.
+Figure analyze_usage_snapshot(const trace::TraceSet& trace, Metric metric,
+                              trace::PriorityBand min_band,
+                              std::size_t num_machines = 50,
+                              std::size_t time_stride = 6);
+
+// ---- Tables II / III -------------------------------------------------------------
+struct LevelDurationRow {
+  std::size_t level = 0;   ///< usage interval [level*0.2, (level+1)*0.2)
+  std::size_t num_runs = 0;
+  double avg_minutes = 0.0;
+  double max_minutes = 0.0;
+  double joint_ratio_mass = 0.0;
+  double joint_ratio_count = 0.0;
+  double mm_distance_minutes = 0.0;
+};
+
+struct LevelDurationTable {
+  Metric metric = Metric::kCpu;
+  trace::PriorityBand min_band = trace::PriorityBand::kLow;
+  std::array<LevelDurationRow, 5> rows{};
+  std::string render() const;
+};
+
+/// Durations of unchanged (quantized) usage level across all machines,
+/// per level (Tables II and III; min_band selects the all/mid+high/high
+/// priority views discussed in the text).
+LevelDurationTable analyze_level_durations(const trace::TraceSet& trace,
+                                           Metric metric,
+                                           trace::PriorityBand min_band);
+
+// ---- Figs 11 / 12 ------------------------------------------------------------------
+struct UsageMassCountReport {
+  Metric metric = Metric::kCpu;
+  trace::PriorityBand min_band = trace::PriorityBand::kLow;
+  stats::MassCountResult result;
+  double mean_usage = 0.0;  ///< mean relative usage over machine-samples
+  Figure figure;
+};
+
+UsageMassCountReport analyze_usage_mass_count(const trace::TraceSet& trace,
+                                              Metric metric,
+                                              trace::PriorityBand min_band);
+
+// ---- Fig 13 ------------------------------------------------------------------------
+struct HostLoadSystemStats {
+  std::string system;
+  /// Per-host noise (mean |residual| after mean filtering of relative
+  /// CPU usage), summarized across hosts.
+  double noise_min = 0.0;
+  double noise_mean = 0.0;
+  double noise_max = 0.0;
+  /// Mean lag-1 autocorrelation of relative CPU usage across hosts.
+  double mean_autocorrelation = 0.0;
+  /// Mean relative CPU / memory usage across all machine-samples.
+  double mean_cpu_usage = 0.0;
+  double mean_mem_usage = 0.0;
+  /// Representative machine's series: time_day, cpu_rel, mem_rel.
+  Figure series_figure;
+};
+
+struct HostLoadComparison {
+  std::vector<HostLoadSystemStats> systems;
+  /// Ratio of the first (Cloud) system's mean noise to the mean of the
+  /// remaining (Grid) systems' mean noise.
+  double cloud_to_grid_noise_ratio = 0.0;
+  std::string render() const;
+};
+
+/// First trace is treated as the Cloud system.
+HostLoadComparison analyze_hostload_comparison(
+    std::span<const trace::TraceSet* const> traces,
+    std::size_t mean_filter_window = 5);
+
+}  // namespace cgc::analysis

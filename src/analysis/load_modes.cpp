@@ -1,0 +1,209 @@
+#include "analysis/load_modes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <sstream>
+
+#include "analysis/hostload_analyzers.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/timeseries.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cgc::analysis {
+
+namespace {
+
+constexpr std::size_t kDims = 4;
+
+double sq_distance(const std::array<double, kDims>& a,
+                   const std::array<double, kDims>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < kDims; ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::vector<HostLoadFeatures> extract_host_features(
+    const trace::TraceSet& trace) {
+  const auto host_load = trace.host_load();
+  CGC_CHECK_MSG(!host_load.empty(), "trace has no host load");
+  std::vector<HostLoadFeatures> features(host_load.size());
+  util::parallel_for_chunked(
+      0, host_load.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t m = lo; m < hi; ++m) {
+          const auto machine = trace.machine_by_id(host_load[m].machine_id());
+          CGC_CHECK(machine.has_value());
+          const std::vector<double> cpu = host_load[m].cpu_relative(
+              machine->cpu_capacity, trace::PriorityBand::kLow);
+          const std::vector<double> mem = host_load[m].mem_relative(
+              machine->mem_capacity, trace::PriorityBand::kLow);
+          HostLoadFeatures& f = features[m];
+          f.machine_id = host_load[m].machine_id();
+          f.mean_cpu =
+              stats::summarize(std::span<const double>(cpu)).mean();
+          f.mean_mem =
+              stats::summarize(std::span<const double>(mem)).mean();
+          f.cpu_noise = stats::noise_after_mean_filter(cpu, 5).mean_abs;
+          f.cpu_autocorr = stats::autocorrelation(cpu, 1);
+        }
+      });
+  return features;
+}
+
+LoadModesResult analyze_load_modes(const trace::TraceSet& trace,
+                                   std::size_t k, std::uint64_t seed,
+                                   std::size_t max_iterations) {
+  CGC_CHECK_MSG(k >= 1, "need at least one mode");
+  LoadModesResult result;
+  result.features = extract_host_features(trace);
+  const std::size_t n = result.features.size();
+  k = std::min(k, n);
+
+  // z-normalize each dimension so noise (~1e-2) and usage (~1e-1..1)
+  // contribute comparably.
+  std::array<double, kDims> mean{}, stddev{};
+  for (const HostLoadFeatures& f : result.features) {
+    const auto v = f.as_vector();
+    for (std::size_t d = 0; d < kDims; ++d) {
+      mean[d] += v[d];
+    }
+  }
+  for (double& m : mean) {
+    m /= static_cast<double>(n);
+  }
+  for (const HostLoadFeatures& f : result.features) {
+    const auto v = f.as_vector();
+    for (std::size_t d = 0; d < kDims; ++d) {
+      stddev[d] += (v[d] - mean[d]) * (v[d] - mean[d]);
+    }
+  }
+  for (double& s : stddev) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) {
+      s = 1.0;  // constant dimension: contributes nothing either way
+    }
+  }
+  std::vector<std::array<double, kDims>> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = result.features[i].as_vector();
+    for (std::size_t d = 0; d < kDims; ++d) {
+      points[i][d] = (v[d] - mean[d]) / stddev[d];
+    }
+  }
+
+  // k-means++ style deterministic seeding: first centroid from the rng,
+  // each next one the point farthest from its nearest centroid.
+  util::Rng rng(seed);
+  std::vector<std::array<double, kDims>> centroids;
+  centroids.push_back(
+      points[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(n) - 1))]);
+  while (centroids.size() < k) {
+    std::size_t farthest = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) {
+        nearest = std::min(nearest, sq_distance(points[i], c));
+      }
+      if (nearest > best) {
+        best = nearest;
+        farthest = i;
+      }
+    }
+    centroids.push_back(points[farthest]);
+  }
+
+  // Lloyd iterations.
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best_c = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < centroids.size(); ++c) {
+        const double d = sq_distance(points[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best_c = c;
+        }
+      }
+      if (assignment[i] != best_c) {
+        assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    std::vector<std::array<double, kDims>> sums(centroids.size());
+    std::vector<std::size_t> counts(centroids.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < kDims; ++d) {
+        sums[assignment[i]][d] += points[i][d];
+      }
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] > 0) {
+        for (std::size_t d = 0; d < kDims; ++d) {
+          centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  // Materialize modes (denormalized centroids), largest cluster first.
+  result.modes.resize(centroids.size());
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    for (std::size_t d = 0; d < kDims; ++d) {
+      result.modes[c].centroid[d] = centroids[c][d] * stddev[d] + mean[d];
+    }
+  }
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.modes[assignment[i]].machine_ids.push_back(
+        result.features[i].machine_id);
+    result.inertia += sq_distance(points[i], centroids[assignment[i]]);
+  }
+  for (LoadMode& mode : result.modes) {
+    mode.share = static_cast<double>(mode.machine_ids.size()) /
+                 static_cast<double>(n);
+  }
+  std::sort(result.modes.begin(), result.modes.end(),
+            [](const LoadMode& a, const LoadMode& b) {
+              return a.machine_ids.size() > b.machine_ids.size();
+            });
+  return result;
+}
+
+std::string LoadModesResult::render() const {
+  util::AsciiTable table({"mode", "hosts", "share", "mean cpu", "mean mem",
+                          "cpu noise", "autocorr"});
+  table.set_caption("Host-load modes (k-means over per-host features)");
+  for (std::size_t c = 0; c < modes.size(); ++c) {
+    const LoadMode& m = modes[c];
+    table.add_row({std::to_string(c + 1),
+                   util::cell_int(static_cast<long long>(
+                       m.machine_ids.size())),
+                   util::cell_pct(m.share), util::cell_pct(m.centroid[0]),
+                   util::cell_pct(m.centroid[1]),
+                   util::cell(m.centroid[2], 3),
+                   util::cell(m.centroid[3], 3)});
+  }
+  std::ostringstream out;
+  out << table.render();
+  out << "within-cluster inertia: " << inertia << "\n";
+  return out.str();
+}
+
+}  // namespace cgc::analysis

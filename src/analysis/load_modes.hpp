@@ -1,0 +1,60 @@
+// Host-load mode clustering (extension).
+//
+// The paper's introduction motivates characterization with: "by
+// characterizing common modes of host load within a data center, a job
+// scheduler can use this information for task allocation and improve
+// utilization". This analyzer extracts per-host feature vectors (mean
+// CPU, mean memory, CPU noise, lag-1 autocorrelation) and clusters them
+// with k-means, yielding the data center's load modes — e.g. the
+// memory-heavy service hosts vs the bursty batch hosts of Fig 10's
+// snapshot, or the pinned vs marginal nodes of a grid.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "trace/trace_set.hpp"
+
+namespace cgc::analysis {
+
+/// Per-host load features (the clustering space).
+struct HostLoadFeatures {
+  std::int64_t machine_id = 0;
+  double mean_cpu = 0.0;   ///< mean relative CPU usage
+  double mean_mem = 0.0;   ///< mean relative memory usage
+  double cpu_noise = 0.0;  ///< mean |residual| after mean filtering
+  double cpu_autocorr = 0.0;  ///< lag-1 autocorrelation
+
+  std::array<double, 4> as_vector() const {
+    return {mean_cpu, mean_mem, cpu_noise, cpu_autocorr};
+  }
+};
+
+/// One discovered mode: a cluster of hosts with similar load behaviour.
+struct LoadMode {
+  std::array<double, 4> centroid{};  ///< feature-space center (normalized
+                                     ///< back to raw units)
+  std::vector<std::int64_t> machine_ids;
+  double share = 0.0;  ///< fraction of hosts in this mode
+};
+
+struct LoadModesResult {
+  std::vector<HostLoadFeatures> features;  ///< one entry per host
+  std::vector<LoadMode> modes;             ///< k clusters, largest first
+  double inertia = 0.0;  ///< total within-cluster squared distance
+  std::string render() const;
+};
+
+/// Extracts per-host features from a host-load trace.
+std::vector<HostLoadFeatures> extract_host_features(
+    const trace::TraceSet& trace);
+
+/// Clusters hosts into `k` load modes (k-means with deterministic
+/// k-means++-style seeding; features are z-normalized internally).
+LoadModesResult analyze_load_modes(const trace::TraceSet& trace,
+                                   std::size_t k = 3,
+                                   std::uint64_t seed = 7,
+                                   std::size_t max_iterations = 100);
+
+}  // namespace cgc::analysis

@@ -1,0 +1,92 @@
+#include "gen/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace cgc::gen {
+
+std::vector<double> hourly_rates(const ArrivalModel& model,
+                                 std::size_t num_hours, util::Rng& rng) {
+  CGC_CHECK_MSG(model.mean_per_hour >= 0.0, "negative arrival rate");
+  CGC_CHECK_MSG(model.diurnal_amplitude >= 0.0 &&
+                    model.diurnal_amplitude < 1.0,
+                "diurnal amplitude out of [0,1)");
+  CGC_CHECK_MSG(model.weekly_amplitude >= 0.0 && model.weekly_amplitude < 1.0,
+                "weekly amplitude out of [0,1)");
+  std::vector<double> rates(num_hours);
+  // AR(1) log-noise with stationary variance burst_sigma^2: innovations
+  // have sigma_e = sigma * sqrt(1 - phi^2).
+  const double phi = model.burst_ar1;
+  const double sigma_e =
+      model.burst_sigma * std::sqrt(std::max(0.0, 1.0 - phi * phi));
+  double log_noise = model.burst_sigma * rng.normal();
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (std::size_t h = 0; h < num_hours; ++h) {
+    const double t = static_cast<double>(h);
+    const double diurnal =
+        1.0 + model.diurnal_amplitude *
+                  std::sin(2.0 * std::numbers::pi * t / 24.0 + phase);
+    const double weekly =
+        1.0 + model.weekly_amplitude *
+                  std::sin(2.0 * std::numbers::pi * t / 168.0 + 0.5 * phase);
+    // Mean-one lognormal: exp(x - sigma^2/2), x ~ N(0, sigma^2).
+    const double noise =
+        std::exp(log_noise - 0.5 * model.burst_sigma * model.burst_sigma);
+    double rate = model.mean_per_hour * diurnal * weekly * noise;
+    if (model.dip_probability > 0.0 && rng.bernoulli(model.dip_probability)) {
+      rate *= model.dip_factor;
+    }
+    rates[h] = std::max(0.0, rate);
+    log_noise = phi * log_noise + sigma_e * rng.normal();
+  }
+  return rates;
+}
+
+std::vector<util::TimeSec> arrival_times(const ArrivalModel& model,
+                                         util::TimeSec horizon,
+                                         util::Rng& rng) {
+  CGC_CHECK_MSG(horizon > 0, "horizon must be positive");
+  const auto num_hours = static_cast<std::size_t>(
+      (horizon + util::kSecondsPerHour - 1) / util::kSecondsPerHour);
+  const std::vector<double> rates = hourly_rates(model, num_hours, rng);
+  std::vector<util::TimeSec> times;
+  times.reserve(static_cast<std::size_t>(model.mean_per_hour *
+                                         static_cast<double>(num_hours)) +
+                16);
+  for (std::size_t h = 0; h < num_hours; ++h) {
+    const std::int64_t count = rates[h] <= 0.0 ? 0 : rng.poisson(rates[h]);
+    const util::TimeSec hour_start =
+        static_cast<util::TimeSec>(h) * util::kSecondsPerHour;
+    for (std::int64_t i = 0; i < count; ++i) {
+      const util::TimeSec t =
+          hour_start + rng.uniform_int(0, util::kSecondsPerHour - 1);
+      if (t < horizon) {
+        times.push_back(t);
+      }
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+double burst_sigma_for_fairness(double target_fairness,
+                                double diurnal_amplitude) {
+  CGC_CHECK_MSG(target_fairness > 0.0 && target_fairness <= 1.0,
+                "fairness must be in (0,1]");
+  // Jain fairness f relates to the squared coefficient of variation:
+  // f = 1 / (1 + CV^2). The rate process multiplies an (independent)
+  // sinusoid of variance a^2/2 with a mean-one lognormal of variance
+  // e^{sigma^2} - 1, so 1 + CV^2 = (1 + a^2/2) * e^{sigma^2}.
+  const double total = 1.0 / target_fairness;
+  const double diurnal_part =
+      1.0 + 0.5 * diurnal_amplitude * diurnal_amplitude;
+  if (total <= diurnal_part) {
+    return 0.0;  // diurnal modulation alone already exceeds the target
+  }
+  return std::sqrt(std::log(total / diurnal_part));
+}
+
+}  // namespace cgc::gen

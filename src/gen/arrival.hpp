@@ -1,0 +1,52 @@
+// Job arrival processes.
+//
+// Arrivals are modeled as a doubly-stochastic (Cox) process: an hourly
+// rate process — diurnal/weekly modulation times AR(1)-lognormal noise,
+// with optional quiet "dips" — drives a per-hour Poisson count, and
+// arrival instants are uniform within the hour. This family spans the
+// paper's observations: Google submissions are high-rate and stable
+// (fairness 0.94), Grid submissions are bursty and diurnal (fairness
+// 0.04-0.51) — see Table I and Fig 5.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time_util.hpp"
+
+namespace cgc::gen {
+
+/// Parameters of the hourly rate process.
+struct ArrivalModel {
+  /// Long-run mean submissions per hour.
+  double mean_per_hour = 100.0;
+  /// Diurnal (24 h) sinusoidal modulation amplitude in [0, 1).
+  double diurnal_amplitude = 0.0;
+  /// Weekly (168 h) modulation amplitude in [0, 1).
+  double weekly_amplitude = 0.0;
+  /// Sigma of the lognormal multiplicative noise (burstiness knob).
+  double burst_sigma = 0.0;
+  /// AR(1) coefficient of the log-noise (bursts persist across hours).
+  double burst_ar1 = 0.0;
+  /// Probability that an hour is a quiet "dip" (maintenance, outage).
+  double dip_probability = 0.0;
+  /// Rate multiplier during a dip.
+  double dip_factor = 0.1;
+};
+
+/// Hourly mean rates over `num_hours` (deterministic given rng state).
+std::vector<double> hourly_rates(const ArrivalModel& model,
+                                 std::size_t num_hours, util::Rng& rng);
+
+/// Sorted arrival timestamps over [0, horizon).
+std::vector<util::TimeSec> arrival_times(const ArrivalModel& model,
+                                         util::TimeSec horizon,
+                                         util::Rng& rng);
+
+/// Burst sigma that makes the hourly-count Jain fairness approximately
+/// `target_fairness`, given the model's diurnal amplitude (derived from
+/// CV² = 1/f - 1 and the lognormal/sinusoid variance decomposition).
+double burst_sigma_for_fairness(double target_fairness,
+                                double diurnal_amplitude);
+
+}  // namespace cgc::gen

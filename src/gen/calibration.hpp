@@ -1,0 +1,132 @@
+// Calibration constants extracted from the paper.
+//
+// Every number here is traceable to a specific figure, table, or
+// sentence of Di/Kondo/Cirne (CLUSTER 2012); the generators are tuned so
+// the regenerated traces reproduce these statistics, and the calibration
+// tests assert the match. Where the paper gives only a plot, the
+// constants encode our reading of it (noted "from Fig N").
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "util/time_util.hpp"
+
+namespace cgc::gen::paper {
+
+// ---- Section II / abstract ------------------------------------------------
+inline constexpr std::size_t kGoogleMachines = 12500;
+inline constexpr double kGoogleTotalTasks = 25e6;
+inline constexpr double kGoogleTotalJobs = 670e3;
+inline constexpr util::TimeSec kTraceDuration = util::kSecondsPerMonth;
+
+// ---- Fig 2: priority histogram (job counts, priorities 1..12) -------------
+// The paper labels the large bars explicitly (16e4, 11.3e4, 17e4, 13e4,
+// 0.9e4, 4e4, 4.7e4); the remaining high-priority bars are small. The
+// three bands: low 1-4, mid 5-8, high 9-12.
+inline constexpr std::array<double, 12> kJobPriorityWeights = {
+    16.0, 11.3, 17.0, 13.0,   // low band (from Fig 2a labels)
+    0.9, 4.0, 4.7, 0.4,       // mid band
+    0.35, 0.25, 0.15, 0.1,    // high band (small; from Fig 2a shape)
+};
+
+// ---- Section III.2: job/task length ----------------------------------------
+/// "over 80% Google jobs' lengths are shorter than 1000 seconds"
+inline constexpr double kGoogleJobsUnder1000s = 0.80;
+/// "about 94% of tasks' execution times ... are less than 3 hours"
+inline constexpr double kGoogleTasksUnder3h = 0.94;
+/// "about 55% of tasks finish within 10 minutes" (conclusion)
+inline constexpr double kGoogleTasksUnder10min = 0.55;
+/// "about 90% of tasks' lengths are shorter than 1 hour" (conclusion)
+inline constexpr double kGoogleTasksUnder1h = 0.90;
+/// mean / max task execution time in the Google cluster
+inline constexpr double kGoogleTaskMeanSec = 5.6 * 3600;
+inline constexpr double kGoogleTaskMaxSec = 29.0 * 86400;
+/// mean / max task execution time in AuverGrid (340k tasks)
+inline constexpr double kAuverGridTaskMeanSec = 7.2 * 3600;
+inline constexpr double kAuverGridTaskMaxSec = 18.0 * 86400;
+/// "only 70% of tasks in AuverGrid are smaller than 12 hours"
+inline constexpr double kAuverGridTasksUnder12h = 0.70;
+
+// ---- Fig 4: mass-count of task lengths --------------------------------------
+inline constexpr double kGoogleTaskJointRatioMass = 6.0;    // 6/94
+inline constexpr double kGoogleTaskJointRatioCount = 94.0;
+inline constexpr double kAuverGridTaskJointRatioMass = 24.0;  // 24/76
+inline constexpr double kAuverGridTaskJointRatioCount = 76.0;
+/// mm-distance of Google task lengths, in days (Fig 4a)
+inline constexpr double kGoogleTaskMmDistanceDays = 23.19;
+/// mm-distance of AuverGrid task lengths, in days (Fig 4b)
+inline constexpr double kAuverGridTaskMmDistanceDays = 0.82;
+
+// ---- Table I: jobs submitted per hour ---------------------------------------
+struct SubmissionRow {
+  const char* system;
+  double max_per_hour;
+  double avg_per_hour;
+  double min_per_hour;
+  double fairness;
+};
+inline constexpr std::array<SubmissionRow, 8> kTableI = {{
+    {"Google", 1421, 552, 36, 0.94},
+    {"AuverGrid", 818, 45, 0, 0.35},
+    {"NorduGrid", 2175, 27, 0, 0.11},
+    {"SHARCNET", 22334, 126, 0, 0.04},
+    {"ANL", 132, 10, 0, 0.51},
+    {"RICC", 4919, 121, 0, 0.14},
+    {"METACENTRUM", 2315, 24, 0, 0.04},
+    {"LLNL-Atlas", 240, 8.4, 0, 0.23},
+}};
+
+// ---- Section IV / Fig 7: machine capacities ---------------------------------
+// Normalized capacity groups visible as the dashed lines of Fig 7.
+inline constexpr std::array<double, 3> kCpuCapacityValues = {0.25, 0.5, 1.0};
+/// Our reading of the group sizes (the public trace is dominated by the
+/// middle CPU class).
+inline constexpr std::array<double, 3> kCpuCapacityShares = {0.30, 0.60, 0.10};
+inline constexpr std::array<double, 4> kMemCapacityValues = {0.25, 0.5, 0.75,
+                                                             1.0};
+inline constexpr std::array<double, 4> kMemCapacityShares = {0.25, 0.45, 0.20,
+                                                             0.10};
+/// "maximum memory size consumed ... around 80% of capacity" (Fig 7b)
+inline constexpr double kMaxMemUsageOfCapacity = 0.80;
+/// "summed assigned memory size is around 90% of capacity" (Fig 7c)
+inline constexpr double kMaxMemAssignedOfCapacity = 0.90;
+
+// ---- Fig 8 / queue state ------------------------------------------------------
+/// "for the totally 44 million task-completion events, about 59.2% are
+/// abnormal ones, among which most of them belong to the fail state
+/// (50%) or the kill state (30.7%)"
+inline constexpr double kAbnormalFractionOfCompletions = 0.592;
+inline constexpr double kFailShareOfAbnormal = 0.50;
+inline constexpr double kKillShareOfAbnormal = 0.307;
+/// running-queue state on the example host stabilizes around 40 tasks
+inline constexpr double kTypicalRunningTasksPerHost = 40;
+
+// ---- Tables II/III: unchanged usage-level durations ----------------------------
+/// CPU level changes every ~6 minutes on average; memory ~6-10 minutes.
+inline constexpr double kCpuLevelMeanDurationMin = 6.0;
+inline constexpr double kMemLevelMeanDurationMinLo = 6.0;
+inline constexpr double kMemLevelMeanDurationMinHi = 10.0;
+
+// ---- Figs 11/12: usage mass-count ----------------------------------------------
+/// "percentage load of CPU is about 35% w.r.t. all the tasks and about
+/// 20% for the high-priority tasks, while memory's are about 60% and
+/// 50% respectively"
+inline constexpr double kCpuMeanUsageAllTasks = 0.35;
+inline constexpr double kCpuMeanUsageHighPriority = 0.20;
+inline constexpr double kMemMeanUsageAllTasks = 0.60;
+inline constexpr double kMemMeanUsageHighPriority = 0.50;
+
+// ---- Fig 13: noise and autocorrelation -------------------------------------------
+/// min/mean/max noise of CPU load after mean filtering
+inline constexpr double kAuverGridNoiseMin = 0.00008;
+inline constexpr double kAuverGridNoiseMean = 0.0011;
+inline constexpr double kAuverGridNoiseMax = 0.0026;
+inline constexpr double kGoogleNoiseMin = 0.00024;
+inline constexpr double kGoogleNoiseMean = 0.028;
+inline constexpr double kGoogleNoiseMax = 0.081;
+/// "noise of Google cluster's usage load is about 20 times as large as
+/// that of Grid's on average"
+inline constexpr double kCloudToGridNoiseRatio = 20.0;
+
+}  // namespace cgc::gen::paper

@@ -1,0 +1,130 @@
+#include "predict/evaluation.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cgc::predict {
+
+namespace {
+
+/// Shard-mergeable error accumulator.
+struct ErrorAccumulator {
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  double signed_sum = 0.0;
+  std::size_t n = 0;
+
+  void add(double predicted, double truth) {
+    const double e = predicted - truth;
+    abs_sum += std::abs(e);
+    sq_sum += e * e;
+    signed_sum += e;
+    ++n;
+  }
+  void merge(const ErrorAccumulator& other) {
+    abs_sum += other.abs_sum;
+    sq_sum += other.sq_sum;
+    signed_sum += other.signed_sum;
+    n += other.n;
+  }
+  EvaluationResult finish(const std::string& name) const {
+    EvaluationResult r;
+    r.predictor = name;
+    if (n > 0) {
+      const double dn = static_cast<double>(n);
+      r.mae = abs_sum / dn;
+      r.rmse = std::sqrt(sq_sum / dn);
+      r.bias = signed_sum / dn;
+      r.num_predictions = n;
+    }
+    return r;
+  }
+};
+
+void run_series(Predictor& predictor, std::span<const double> series,
+                std::size_t warmup, ErrorAccumulator* acc) {
+  predictor.reset();
+  for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+    predictor.observe(series[i]);
+    if (i + 1 >= warmup) {
+      acc->add(predictor.predict(), series[i + 1]);
+    }
+  }
+}
+
+}  // namespace
+
+EvaluationResult evaluate_series(Predictor& predictor,
+                                 std::span<const double> series,
+                                 std::size_t warmup) {
+  ErrorAccumulator acc;
+  run_series(predictor, series, warmup, &acc);
+  return acc.finish(predictor.name());
+}
+
+EvaluationResult evaluate_trace(
+    const std::function<PredictorPtr()>& factory,
+    const trace::TraceSet& trace, analysis::Metric metric,
+    std::size_t warmup) {
+  const auto host_load = trace.host_load();
+  CGC_CHECK_MSG(!host_load.empty(), "trace has no host load");
+  ErrorAccumulator total;
+  std::string name;
+  std::mutex merge_mutex;
+  util::parallel_for_chunked(
+      0, host_load.size(), [&](std::size_t lo, std::size_t hi) {
+        PredictorPtr predictor = factory();
+        ErrorAccumulator local;
+        for (std::size_t m = lo; m < hi; ++m) {
+          const auto machine = trace.machine_by_id(host_load[m].machine_id());
+          const std::vector<double> series =
+              metric == analysis::Metric::kCpu
+                  ? host_load[m].cpu_relative(machine->cpu_capacity,
+                                              trace::PriorityBand::kLow)
+                  : host_load[m].mem_relative(machine->mem_capacity,
+                                              trace::PriorityBand::kLow);
+          run_series(*predictor, series, warmup, &local);
+        }
+        std::lock_guard lock(merge_mutex);
+        total.merge(local);
+        if (name.empty()) {
+          name = predictor->name();
+        }
+      });
+  return total.finish(name);
+}
+
+std::vector<EvaluationResult> evaluate_standard_suite(
+    const trace::TraceSet& trace, analysis::Metric metric,
+    std::size_t warmup) {
+  std::vector<EvaluationResult> results;
+  const std::size_t suite_size = standard_predictors().size();
+  for (std::size_t i = 0; i < suite_size; ++i) {
+    results.push_back(evaluate_trace(
+        [i] { return std::move(standard_predictors()[i]); }, trace, metric,
+        warmup));
+  }
+  return results;
+}
+
+std::string render_comparison(const std::string& system_a,
+                              std::span<const EvaluationResult> a,
+                              const std::string& system_b,
+                              std::span<const EvaluationResult> b) {
+  CGC_CHECK(a.size() == b.size());
+  util::AsciiTable table({"predictor", system_a + " MAE", system_b + " MAE",
+                          "ratio", system_a + " RMSE", system_b + " RMSE"});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    table.add_row({a[i].predictor, util::cell(a[i].mae, 3),
+                   util::cell(b[i].mae, 3),
+                   util::cell(b[i].mae > 0 ? a[i].mae / b[i].mae : 0.0, 3),
+                   util::cell(a[i].rmse, 3), util::cell(b[i].rmse, 3)});
+  }
+  return table.render();
+}
+
+}  // namespace cgc::predict

@@ -1,0 +1,53 @@
+// Predictor evaluation over host-load traces.
+//
+// Turns the paper's qualitative "Cloud host load is harder to predict"
+// into numbers: one-step-ahead error of each predictor over every
+// machine's relative CPU (or memory) series.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/hostload_analyzers.hpp"
+#include "predict/predictors.hpp"
+#include "trace/trace_set.hpp"
+
+namespace cgc::predict {
+
+/// One-step-ahead error metrics.
+struct EvaluationResult {
+  std::string predictor;
+  double mae = 0.0;   ///< mean absolute error
+  double rmse = 0.0;  ///< root mean squared error
+  double bias = 0.0;  ///< mean signed error (prediction - truth)
+  std::size_t num_predictions = 0;
+};
+
+/// Evaluates one predictor over a single series. The first
+/// `warmup` observations are fed without being scored.
+EvaluationResult evaluate_series(Predictor& predictor,
+                                 std::span<const double> series,
+                                 std::size_t warmup = 3);
+
+/// Evaluates a predictor over every machine's relative usage series in
+/// `trace` (parallelized across machines; the factory builds one
+/// predictor instance per machine shard).
+EvaluationResult evaluate_trace(
+    const std::function<PredictorPtr()>& factory,
+    const trace::TraceSet& trace, analysis::Metric metric,
+    std::size_t warmup = 3);
+
+/// Runs the standard predictor suite over a trace; rows in suite order.
+std::vector<EvaluationResult> evaluate_standard_suite(
+    const trace::TraceSet& trace, analysis::Metric metric,
+    std::size_t warmup = 3);
+
+/// Renders a comparison table of two systems' suite results (e.g. Cloud
+/// vs Grid), including the error ratio per predictor.
+std::string render_comparison(
+    const std::string& system_a, std::span<const EvaluationResult> a,
+    const std::string& system_b, std::span<const EvaluationResult> b);
+
+}  // namespace cgc::predict

@@ -1,0 +1,121 @@
+#include "predict/predictors.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cgc::predict {
+
+MovingAveragePredictor::MovingAveragePredictor(std::size_t window)
+    : window_(window) {
+  CGC_CHECK_MSG(window >= 1, "window must be >= 1");
+}
+
+void MovingAveragePredictor::reset() {
+  history_.clear();
+  sum_ = 0.0;
+}
+
+void MovingAveragePredictor::observe(double x) {
+  history_.push_back(x);
+  sum_ += x;
+  if (history_.size() > window_) {
+    sum_ -= history_.front();
+    history_.pop_front();
+  }
+}
+
+double MovingAveragePredictor::predict() const {
+  if (history_.empty()) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(history_.size());
+}
+
+std::string MovingAveragePredictor::name() const {
+  return "moving-average(w=" + std::to_string(window_) + ")";
+}
+
+ExpSmoothingPredictor::ExpSmoothingPredictor(double alpha) : alpha_(alpha) {
+  CGC_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+}
+
+void ExpSmoothingPredictor::reset() {
+  state_ = 0.0;
+  initialized_ = false;
+}
+
+void ExpSmoothingPredictor::observe(double x) {
+  if (!initialized_) {
+    state_ = x;
+    initialized_ = true;
+  } else {
+    state_ = alpha_ * x + (1.0 - alpha_) * state_;
+  }
+}
+
+double ExpSmoothingPredictor::predict() const { return state_; }
+
+std::string ExpSmoothingPredictor::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "exp-smoothing(a=%.1f)", alpha_);
+  return buf;
+}
+
+void Ar1Predictor::reset() {
+  last_ = 0.0;
+  count_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  sum_lag_ = 0.0;
+  prev_ = 0.0;
+}
+
+void Ar1Predictor::observe(double x) {
+  if (count_ > 0) {
+    sum_lag_ += prev_ * x;
+  }
+  sum_ += x;
+  sum_sq_ += x * x;
+  prev_ = x;
+  last_ = x;
+  ++count_;
+}
+
+double Ar1Predictor::phi() const {
+  if (count_ < 3) {
+    return 1.0;  // degenerate: behave like last-value until warmed up
+  }
+  const double n = static_cast<double>(count_);
+  const double mean = sum_ / n;
+  const double var = sum_sq_ / n - mean * mean;
+  if (var <= 1e-12) {
+    return 0.0;
+  }
+  const double cov =
+      sum_lag_ / (n - 1.0) - mean * mean;  // lag-1 covariance estimate
+  return std::clamp(cov / var, -1.0, 1.0);
+}
+
+double Ar1Predictor::predict() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double mean = sum_ / static_cast<double>(count_);
+  return mean + phi() * (last_ - mean);
+}
+
+std::vector<PredictorPtr> standard_predictors() {
+  std::vector<PredictorPtr> suite;
+  suite.push_back(std::make_unique<LastValuePredictor>());
+  suite.push_back(std::make_unique<MovingAveragePredictor>(3));
+  suite.push_back(std::make_unique<MovingAveragePredictor>(12));
+  suite.push_back(std::make_unique<ExpSmoothingPredictor>(0.3));
+  suite.push_back(std::make_unique<ExpSmoothingPredictor>(0.7));
+  suite.push_back(std::make_unique<Ar1Predictor>());
+  return suite;
+}
+
+}  // namespace cgc::predict

@@ -1,0 +1,107 @@
+// Host-load predictors.
+//
+// The paper closes with: "In the future, we will try to exploit the
+// best-fit load prediction method based on our characterization work."
+// This module provides the classical one-step-ahead predictors that
+// characterization work feeds into, plus an evaluation harness
+// (evaluation.hpp) that quantifies the paper's Cloud-is-harder claim.
+//
+// All predictors are online: observe(x) then predict() the next sample.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cgc::predict {
+
+/// One-step-ahead online predictor.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  /// Clears all state (a new series begins).
+  virtual void reset() = 0;
+  /// Feeds the current observation.
+  virtual void observe(double x) = 0;
+  /// Predicts the next observation. Defined after >= 1 observation;
+  /// returns 0 before any.
+  virtual double predict() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using PredictorPtr = std::unique_ptr<Predictor>;
+
+/// Predicts the last observed value (the noise-free optimum for a
+/// random walk; the baseline every paper uses).
+class LastValuePredictor final : public Predictor {
+ public:
+  void reset() override { last_ = 0.0; }
+  void observe(double x) override { last_ = x; }
+  double predict() const override { return last_; }
+  std::string name() const override { return "last-value"; }
+
+ private:
+  double last_ = 0.0;
+};
+
+/// Mean of the last `window` observations.
+class MovingAveragePredictor final : public Predictor {
+ public:
+  explicit MovingAveragePredictor(std::size_t window);
+  void reset() override;
+  void observe(double x) override;
+  double predict() const override;
+  std::string name() const override;
+
+ private:
+  std::size_t window_;
+  std::deque<double> history_;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted moving average with smoothing factor alpha.
+class ExpSmoothingPredictor final : public Predictor {
+ public:
+  explicit ExpSmoothingPredictor(double alpha);
+  void reset() override;
+  void observe(double x) override;
+  double predict() const override;
+  std::string name() const override;
+
+ private:
+  double alpha_;
+  double state_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Adaptive AR(1): x̂_{t+1} = mu + phi (x_t - mu), with mu and phi
+/// estimated online from running moments — the model the paper's
+/// autocorrelation analysis motivates (Grid load: phi ~ 1; Cloud load:
+/// phi small, so predictions shrink toward the mean).
+class Ar1Predictor final : public Predictor {
+ public:
+  void reset() override;
+  void observe(double x) override;
+  double predict() const override;
+  std::string name() const override { return "ar1"; }
+
+  /// Current online estimate of the lag-1 coefficient.
+  double phi() const;
+
+ private:
+  double last_ = 0.0;
+  std::size_t count_ = 0;
+  // Running moments for mean/variance and lag-1 covariance.
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double sum_lag_ = 0.0;  ///< sum of x_t * x_{t-1}
+  double prev_ = 0.0;
+};
+
+/// Builds the standard predictor suite used by the evaluation harness.
+std::vector<PredictorPtr> standard_predictors();
+
+}  // namespace cgc::predict

@@ -1,0 +1,73 @@
+// Discrete-event cluster simulator.
+//
+// Implements the scheduling model the paper describes for the Google
+// cluster (Section II): one global scheduler, 12 priorities, FCFS within
+// a priority, higher priorities processed first and able to preempt
+// (evict) lower ones, "best" resources chosen to balance demand across
+// machines. Tasks follow the unsubmitted -> pending -> running -> dead
+// state machine with SUBMIT/SCHEDULE/{EVICT,FAIL,FINISH,KILL,LOST}
+// events and optional resubmission (Figure 1).
+//
+// Output is a TraceSet: the full task-event stream, per-task and per-job
+// records, and per-machine HostLoadSeries sampled every 5 minutes — the
+// inputs to every host-load analyzer (Figs 7-13, Tables II-III).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/task_spec.hpp"
+#include "trace/trace_set.hpp"
+
+namespace cgc::sim {
+
+/// Aggregate counters exposed after a run (also used by tests).
+struct SimStats {
+  std::int64_t submitted = 0;
+  std::int64_t scheduled = 0;
+  std::int64_t finished = 0;
+  std::int64_t failed = 0;
+  std::int64_t killed = 0;
+  std::int64_t evicted = 0;
+  std::int64_t lost = 0;
+  std::int64_t resubmits = 0;
+  std::int64_t never_scheduled = 0;  ///< still pending at horizon
+  std::int64_t running_at_horizon = 0;
+  std::int64_t max_pending_depth = 0;
+
+  std::int64_t terminal_events() const {
+    return finished + failed + killed + evicted + lost;
+  }
+  double abnormal_fraction() const {
+    const std::int64_t t = terminal_events();
+    return t == 0 ? 0.0
+                  : static_cast<double>(t - finished) /
+                        static_cast<double>(t);
+  }
+};
+
+/// Runs the simulation of `workload` over `machines`.
+///
+/// The returned TraceSet is finalized and contains machines, events
+/// (if config.record_events), tasks, jobs, and host-load series.
+class ClusterSim {
+ public:
+  ClusterSim(std::vector<trace::Machine> machines, SimConfig config);
+
+  /// Simulates the workload; callable once per instance.
+  trace::TraceSet run(const Workload& workload,
+                      const std::string& system_name = "simulated");
+
+  /// Statistics of the completed run.
+  const SimStats& stats() const { return stats_; }
+
+ private:
+  struct Impl;
+  std::vector<trace::Machine> machines_;
+  SimConfig config_;
+  SimStats stats_;
+  bool used_ = false;
+};
+
+}  // namespace cgc::sim

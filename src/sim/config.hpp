@@ -1,0 +1,89 @@
+// Simulator configuration.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/time_util.hpp"
+
+namespace cgc::sim {
+
+/// Machine-selection policy when several machines can host a task.
+/// The paper describes Google's scheduler as using "the best resources
+/// first, in order to optimally balance the resource demands across
+/// machines" — kBalanced models that; the others exist for ablation.
+enum class PlacementPolicy : std::uint8_t {
+  kBalanced = 0,  ///< minimize resulting max relative utilization
+  kBestFit = 1,   ///< minimize leftover slack (tightest packing)
+  kWorstFit = 2,  ///< maximize leftover slack (spread load)
+  kFirstFit = 3,  ///< first machine that fits (by id)
+  kRandom = 4,    ///< uniformly random among fitting machines
+};
+
+std::string_view placement_name(PlacementPolicy policy);
+
+struct SimConfig {
+  /// Usage sampling period; the Google trace reports every 5 minutes.
+  util::TimeSec sample_period = util::kSamplePeriod;
+  /// Simulation horizon; tasks still running at the horizon stay open
+  /// (end_time = -1), matching trace-boundary truncation.
+  util::TimeSec horizon = util::kSecondsPerMonth;
+  PlacementPolicy placement = PlacementPolicy::kBalanced;
+  /// Allow high-priority tasks to evict lower-priority ones.
+  bool preemption = true;
+  /// Admission: total assigned memory must stay below this fraction of
+  /// capacity — models the kernel/system overhead the paper infers from
+  /// max memory usage saturating near 90% of capacity (Fig 7c).
+  double mem_admission_headroom = 0.92;
+  /// Low-priority (best-effort) tasks may overcommit memory up to this
+  /// fraction of capacity, soaking up the slack that mid/high-priority
+  /// arrivals reclaim by eviction — the structural source of the EVICT
+  /// events in Fig 8 (Google's best-effort tier works the same way).
+  double mem_overcommit_low_priority = 0.97;
+  /// Admission limit for the sum of CPU requests relative to capacity.
+  double cpu_admission_limit = 1.0;
+  /// Per-sample multiplicative jitter (sigma of a lognormal factor) on
+  /// task CPU usage — Cloud tasks are interactive and noisy, Grid tasks
+  /// steady; this is the knob behind the Fig 13 noise comparison.
+  double cpu_usage_jitter = 0.25;
+  /// Same for memory (memory footprints are far steadier).
+  double mem_usage_jitter = 0.08;
+  /// Machine-level multiplicative jitter applied to the whole CPU sample
+  /// of a host (co-tenant/daemon interference, correlated across tasks).
+  /// This is what lets hosts transiently saturate — the clamped spikes
+  /// reproduce the max-load mass at capacity in Fig 7a — and it drives
+  /// the host-level noise compared in Fig 13.
+  /// Defaults model a noisy multi-tenant Cloud host; grid clusters
+  /// override via GridWorkloadModel::apply_grid_sim_defaults.
+  double machine_cpu_jitter = 0.20;
+  double machine_mem_jitter = 0.05;
+  /// Transient whole-machine CPU spikes (system daemons, log rotation,
+  /// co-scheduled maintenance): with this per-sample probability the
+  /// machine's CPU sample is multiplied by cpu_spike_factor (then
+  /// clamped at capacity). These clamped spikes are what put the Fig 7a
+  /// max-load mass exactly at the capacity line.
+  double cpu_spike_probability = 0.004;
+  double cpu_spike_factor = 2.0;
+  /// Mean delay before a failed task is resubmitted (exponential).
+  util::TimeSec resubmit_delay_mean = 2 * util::kSecondsPerMinute;
+  /// Evicted tasks always return to the pending queue after this delay.
+  util::TimeSec evict_requeue_delay = 180;
+  /// Isolation eviction: when a mid/high-priority task is placed on a
+  /// machine running strictly-lower-priority work, it evicts the lowest-
+  /// priority neighbor with this probability — Borg-style preemption for
+  /// latency/interference isolation, the steady EVICT stream of Fig 8
+  /// (capacity-pressure eviction still happens on top of this).
+  double isolation_eviction_probability = 0.45;
+  /// Scheduler pass budget: after this many consecutive placement
+  /// failures within one priority queue, the rest of that queue is
+  /// skipped until the next pass. Tasks are near-interchangeable in
+  /// size, so a long failure streak means the cluster is full; the cap
+  /// keeps a deep backlog from making every pass O(pending * machines).
+  std::size_t max_schedule_failures_per_pass = 48;
+  /// Record the full task-event stream (disable to save memory on very
+  /// large runs; host-load series are always recorded).
+  bool record_events = true;
+  std::uint64_t seed = 42;
+};
+
+}  // namespace cgc::sim

@@ -1,0 +1,49 @@
+// TaskSpec: the generator -> simulator contract.
+//
+// A workload is a list of TaskSpecs; the simulator owns everything that
+// happens after submission (queueing, placement, preemption, sampling).
+// The spec carries the task's *intended* behaviour: how long it must run
+// to FINISH, what resources it requests and actually uses, and its
+// scripted fate (fail/kill/lost injection), from which the simulator
+// produces the observed event stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace cgc::sim {
+
+struct TaskSpec {
+  std::int64_t job_id = 0;
+  std::int32_t task_index = 0;
+  std::uint8_t priority = 1;
+  trace::TimeSec submit_time = 0;
+  /// Remaining work: the task FINISHes after this much accumulated run
+  /// time (across resubmissions for fail/evict fates).
+  trace::TimeSec duration = 1;
+  float cpu_request = 0.01f;  ///< normalized cores requested
+  float mem_request = 0.01f;  ///< normalized memory requested
+  /// Mean fraction of the CPU request actually consumed while running.
+  float cpu_usage_ratio = 0.4f;
+  /// Mean fraction of the memory request actually consumed.
+  float mem_usage_ratio = 0.85f;
+  /// Page-cache footprint while running (normalized units).
+  float page_cache = 0.0f;
+  /// Scripted fate: kFinish runs to completion; kFail/kKill/kLost die
+  /// after `abnormal_after` seconds of runtime instead.
+  trace::TaskEventType fate = trace::TaskEventType::kFinish;
+  trace::TimeSec abnormal_after = 0;
+  /// Machine attributes this task requires (placement constraint; the
+  /// scheduler only considers machines satisfying all bits).
+  std::uint8_t required_attributes = 0;
+  /// Whether an abnormal end (fail/evict) re-enters the pending queue.
+  bool resubmit_on_abnormal = true;
+  /// Cap on resubmissions (guards against infinite crash loops).
+  std::int32_t max_resubmits = 3;
+};
+
+using Workload = std::vector<TaskSpec>;
+
+}  // namespace cgc::sim

@@ -1,0 +1,82 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cgc::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  double sum = 0.0;
+  for (const double v : sorted_) {
+    sum += v;
+  }
+  mean_ = sorted_.empty() ? 0.0 : sum / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  CGC_CHECK_MSG(!sorted_.empty(), "quantile of empty Ecdf");
+  CGC_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+  if (q <= 0.0) {
+    return sorted_.front();
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+double Ecdf::min() const {
+  CGC_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Ecdf::max() const {
+  CGC_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+double Ecdf::mean() const { return mean_; }
+
+std::vector<std::pair<double, double>> Ecdf::plot_points(
+    std::size_t max_points) const {
+  std::vector<std::pair<double, double>> points;
+  if (sorted_.empty()) {
+    return points;
+  }
+  const std::size_t n = sorted_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  points.reserve(n / step + 2);
+  for (std::size_t i = 0; i < n; i += step) {
+    points.emplace_back(sorted_[i],
+                        static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (points.back().first != sorted_.back()) {
+    points.emplace_back(sorted_.back(), 1.0);
+  }
+  return points;
+}
+
+double ks_statistic(const Ecdf& a, const Ecdf& b) {
+  CGC_CHECK_MSG(!a.empty() && !b.empty(), "KS of empty Ecdf");
+  double d = 0.0;
+  for (const double x : a.sorted()) {
+    d = std::max(d, std::abs(a(x) - b(x)));
+  }
+  for (const double x : b.sorted()) {
+    d = std::max(d, std::abs(a(x) - b(x)));
+  }
+  return d;
+}
+
+}  // namespace cgc::stats

@@ -1,0 +1,52 @@
+// Empirical cumulative distribution function.
+//
+// The paper plots CDFs constantly (Figs 3, 5, 6, and the count half of
+// every mass-count plot). Ecdf stores the sorted sample once and answers
+// evaluations, quantiles, and produces downsampled plot series.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cgc::stats {
+
+/// Empirical CDF built from a sample. Evaluation uses the standard
+/// right-continuous definition F(x) = (# samples <= x) / n.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// F(x) = P(X <= x).
+  double operator()(double x) const;
+
+  /// Smallest sample value v with F(v) >= q.
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Sorted underlying sample (read-only view).
+  std::span<const double> sorted() const { return sorted_; }
+
+  /// Produces up to `max_points` (x, F(x)) pairs evenly spaced in rank —
+  /// exactly what a plotting tool needs for Figs 3/5/6.
+  std::vector<std::pair<double, double>> plot_points(
+      std::size_t max_points = 200) const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+/// Two-sample Kolmogorov–Smirnov statistic sup_x |F1(x) - F2(x)|.
+/// Used by tests to check generated samples against target shapes and by
+/// the comparison analyzers to quantify Cloud-vs-Grid distribution gaps.
+double ks_statistic(const Ecdf& a, const Ecdf& b);
+
+}  // namespace cgc::stats

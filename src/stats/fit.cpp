@@ -1,0 +1,100 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cgc::stats {
+
+namespace {
+
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Generic one-sample KS against a model CDF functor.
+template <typename Cdf>
+double ks_against(std::span<const double> values, Cdf cdf) {
+  CGC_CHECK_MSG(!values.empty(), "KS of empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double model = cdf(sorted[i]);
+    const double emp_hi = static_cast<double>(i + 1) / n;
+    const double emp_lo = static_cast<double>(i) / n;
+    d = std::max({d, std::abs(emp_hi - model), std::abs(model - emp_lo)});
+  }
+  return d;
+}
+
+}  // namespace
+
+double fit_exponential_mean(std::span<const double> values) {
+  CGC_CHECK_MSG(!values.empty(), "fit of empty sample");
+  double sum = 0.0;
+  for (const double v : values) {
+    CGC_CHECK_MSG(v >= 0.0, "exponential sample must be non-negative");
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+ParetoFit fit_pareto(std::span<const double> values) {
+  CGC_CHECK_MSG(!values.empty(), "fit of empty sample");
+  ParetoFit fit;
+  fit.xm = *std::min_element(values.begin(), values.end());
+  CGC_CHECK_MSG(fit.xm > 0.0, "Pareto sample must be positive");
+  double log_sum = 0.0;
+  for (const double v : values) {
+    log_sum += std::log(v / fit.xm);
+  }
+  // MLE: alpha = n / sum(ln(xi/xm)); degenerate when all values equal xm.
+  fit.alpha = log_sum == 0.0
+                  ? std::numeric_limits<double>::infinity()
+                  : static_cast<double>(values.size()) / log_sum;
+  return fit;
+}
+
+LogNormalFit fit_lognormal(std::span<const double> values) {
+  CGC_CHECK_MSG(!values.empty(), "fit of empty sample");
+  double sum_log = 0.0;
+  for (const double v : values) {
+    CGC_CHECK_MSG(v > 0.0, "lognormal sample must be positive");
+    sum_log += std::log(v);
+  }
+  const double n = static_cast<double>(values.size());
+  const double mu = sum_log / n;
+  double ss = 0.0;
+  for (const double v : values) {
+    const double d = std::log(v) - mu;
+    ss += d * d;
+  }
+  LogNormalFit fit;
+  fit.median = std::exp(mu);
+  fit.sigma = std::sqrt(ss / n);
+  return fit;
+}
+
+double ks_lognormal(std::span<const double> values, double median,
+                    double sigma) {
+  CGC_CHECK(median > 0.0 && sigma > 0.0);
+  const double mu = std::log(median);
+  return ks_against(values, [mu, sigma](double x) {
+    if (x <= 0.0) {
+      return 0.0;
+    }
+    return phi((std::log(x) - mu) / sigma);
+  });
+}
+
+double ks_exponential(std::span<const double> values, double mean) {
+  CGC_CHECK(mean > 0.0);
+  return ks_against(values, [mean](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / mean);
+  });
+}
+
+}  // namespace cgc::stats

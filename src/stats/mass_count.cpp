@@ -1,0 +1,109 @@
+#include "stats/mass_count.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cgc::stats {
+
+namespace {
+
+/// Sorted copy plus prefix-mass vector; shared by both entry points.
+struct SortedMass {
+  std::vector<double> sorted;
+  std::vector<double> prefix_mass;  // prefix_mass[i] = sum of sorted[0..i]
+  double total = 0.0;
+};
+
+SortedMass prepare(std::span<const double> values) {
+  CGC_CHECK_MSG(!values.empty(), "mass-count of empty sample");
+  SortedMass sm;
+  sm.sorted.assign(values.begin(), values.end());
+  std::sort(sm.sorted.begin(), sm.sorted.end());
+  CGC_CHECK_MSG(sm.sorted.front() >= 0.0,
+                "mass-count requires non-negative values");
+  sm.prefix_mass.resize(sm.sorted.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sm.sorted.size(); ++i) {
+    acc += sm.sorted[i];
+    sm.prefix_mass[i] = acc;
+  }
+  sm.total = acc;
+  CGC_CHECK_MSG(sm.total > 0.0, "mass-count requires positive total mass");
+  return sm;
+}
+
+}  // namespace
+
+MassCountResult mass_count_disparity(std::span<const double> values) {
+  const SortedMass sm = prepare(values);
+  const std::size_t n = sm.sorted.size();
+  const auto fc = [&](std::size_t i) {
+    return static_cast<double>(i + 1) / static_cast<double>(n);
+  };
+  const auto fm = [&](std::size_t i) { return sm.prefix_mass[i] / sm.total; };
+
+  MassCountResult result;
+  result.n = n;
+
+  // Crossover: smallest rank where Fc + Fm >= 1. Both CDFs are
+  // monotonically nondecreasing in rank, so the sum is too.
+  std::size_t lo = 0;
+  std::size_t hi = n - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (fc(mid) + fm(mid) >= 1.0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.joint_ratio_mass = 100.0 * fm(lo);
+  result.joint_ratio_count = 100.0 * fc(lo);
+  // Express as small/large regardless of which CDF leads at the crossover
+  // (for near-uniform samples the mass side can exceed 50).
+  if (result.joint_ratio_mass > result.joint_ratio_count) {
+    std::swap(result.joint_ratio_mass, result.joint_ratio_count);
+  }
+
+  // Medians of each CDF.
+  const auto median_of = [&](auto cdf_at) {
+    std::size_t a = 0;
+    std::size_t b = n - 1;
+    while (a < b) {
+      const std::size_t mid = (a + b) / 2;
+      if (cdf_at(mid) >= 0.5) {
+        b = mid;
+      } else {
+        a = mid + 1;
+      }
+    }
+    return sm.sorted[a];
+  };
+  result.count_median = median_of(fc);
+  result.mass_median = median_of(fm);
+  result.mm_distance = std::abs(result.mass_median - result.count_median);
+  return result;
+}
+
+std::vector<std::array<double, 3>> mass_count_plot(
+    std::span<const double> values, std::size_t max_points) {
+  const SortedMass sm = prepare(values);
+  const std::size_t n = sm.sorted.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  std::vector<std::array<double, 3>> out;
+  out.reserve(n / step + 2);
+  for (std::size_t i = 0; i < n; i += step) {
+    out.push_back({sm.sorted[i],
+                   static_cast<double>(i + 1) / static_cast<double>(n),
+                   sm.prefix_mass[i] / sm.total});
+  }
+  if (out.back()[0] != sm.sorted.back()) {
+    out.push_back({sm.sorted.back(), 1.0, 1.0});
+  }
+  return out;
+}
+
+}  // namespace cgc::stats

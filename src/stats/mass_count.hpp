@@ -1,0 +1,53 @@
+// Mass-count disparity analysis (Feitelson, "Workload Modeling").
+//
+// The paper's signature statistical tool (Figs 4, 9, 11, 12). For a
+// positive-valued sample it computes:
+//   - the count CDF   Fc(x) = P(X <= x)
+//   - the mass  CDF   Fm(x) = E[X * 1{X <= x}] / E[X]
+//   - the joint ratio: at the crossover point x* where Fc + Fm = 1, the
+//     pair (100*Fm(x*), 100*Fc(x*)) — written "X/Y" meaning Y% of the
+//     items account for X% of the mass (e.g. Google task lengths: 6/94).
+//   - the mm-distance: horizontal distance between the medians of the
+//     two CDFs, |Fm^{-1}(0.5) - Fc^{-1}(0.5)|, in the sample's units.
+#pragma once
+
+#include <array>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cgc::stats {
+
+/// Result of a mass-count disparity analysis.
+struct MassCountResult {
+  /// Joint-ratio small side (percent of mass at the crossover), in [0,50].
+  double joint_ratio_mass = 0.0;
+  /// Joint-ratio large side (percent of items at the crossover), in [50,100].
+  double joint_ratio_count = 0.0;
+  /// Horizontal distance between mass median and count median (sample units).
+  double mm_distance = 0.0;
+  /// Count median Fc^{-1}(0.5).
+  double count_median = 0.0;
+  /// Mass median Fm^{-1}(0.5).
+  double mass_median = 0.0;
+  /// Number of samples analyzed.
+  std::size_t n = 0;
+
+  /// True when the small joint-ratio side is at most `threshold` percent —
+  /// the paper's informal "follows the Pareto principle" test (e.g. the
+  /// 10/90 rule has threshold 10+margin).
+  bool pareto_principle(double threshold = 20.0) const {
+    return joint_ratio_mass <= threshold;
+  }
+};
+
+/// Computes the mass-count disparity of a positive sample.
+/// Throws if the sample is empty or its total mass is zero.
+MassCountResult mass_count_disparity(std::span<const double> values);
+
+/// Plot series for a mass-count figure: up to `max_points` rows of
+/// (x, Fc(x), Fm(x)), rank-spaced like the paper's plots.
+std::vector<std::array<double, 3>> mass_count_plot(
+    std::span<const double> values, std::size_t max_points = 200);
+
+}  // namespace cgc::stats

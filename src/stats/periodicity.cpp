@@ -1,0 +1,132 @@
+#include "stats/periodicity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/timeseries.hpp"
+#include "util/check.hpp"
+
+namespace cgc::stats {
+
+std::vector<double> autocorrelation_function(std::span<const double> series,
+                                             std::size_t max_lag) {
+  CGC_CHECK_MSG(max_lag >= 1, "max_lag must be >= 1");
+  std::vector<double> acf(max_lag);
+  if (series.size() < 3) {
+    return acf;
+  }
+  const std::size_t n = series.size();
+  double mean = 0.0;
+  for (const double v : series) {
+    mean += v;
+  }
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double v : series) {
+    var += (v - mean) * (v - mean);
+  }
+  if (var == 0.0) {
+    return acf;
+  }
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    if (lag + 1 >= n) {
+      break;
+    }
+    double cov = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      cov += (series[i] - mean) * (series[i + lag] - mean);
+    }
+    acf[lag - 1] = cov / var;
+  }
+  return acf;
+}
+
+PeriodicityResult detect_periodicity(std::span<const double> series,
+                                     std::size_t min_lag,
+                                     std::size_t max_lag, double margin,
+                                     double min_prominence) {
+  CGC_CHECK_MSG(min_lag >= 2, "min_lag must be >= 2");
+  CGC_CHECK_MSG(max_lag > min_lag, "max_lag must exceed min_lag");
+  PeriodicityResult result;
+  if (series.size() < min_lag * 3) {
+    return result;
+  }
+  const std::vector<double> acf =
+      autocorrelation_function(series, max_lag + 1);
+  const double threshold =
+      margin * 2.0 / std::sqrt(static_cast<double>(series.size()));
+  // Local maxima of the ACF within [min_lag, max_lag], scored by
+  // prominence over the deepest preceding trough.
+  double trough = acf[0];
+  double best_score = 0.0;
+  for (std::size_t lag = min_lag; lag <= max_lag; ++lag) {
+    const double here = acf[lag - 1];
+    trough = std::min(trough, acf[lag - 2]);
+    const double prev = acf[lag - 2];
+    const double next = lag < max_lag ? acf[lag] : -1.0;
+    const double prominence = here - trough;
+    if (here >= prev && here > next && here * prominence > best_score) {
+      best_score = here * prominence;
+      result.dominant_period = lag;
+      result.strength = here;
+      result.prominence = prominence;
+    }
+  }
+  result.significant = result.dominant_period != 0 &&
+                       result.strength > threshold &&
+                       result.prominence >= min_prominence;
+  return result;
+}
+
+double spearman_correlation(std::span<const double> a,
+                            std::span<const double> b) {
+  CGC_CHECK_MSG(a.size() == b.size(), "samples must have equal length");
+  CGC_CHECK_MSG(a.size() >= 2, "need at least two observations");
+  const std::size_t n = a.size();
+  // Fractional ranks (ties get the average rank).
+  const auto ranks = [n](std::span<const double> v) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&v](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> rank(n);
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j + 1 < n && v[order[j + 1]] == v[order[i]]) {
+        ++j;
+      }
+      const double avg_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+      for (std::size_t k = i; k <= j; ++k) {
+        rank[order[k]] = avg_rank;
+      }
+      i = j + 1;
+    }
+    return rank;
+  };
+  const std::vector<double> ra = ranks(a);
+  const std::vector<double> rb = ranks(b);
+  // Pearson correlation of the ranks.
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += ra[i];
+    mean_b += rb[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - mean_a;
+    const double db = rb[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace cgc::stats

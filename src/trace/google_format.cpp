@@ -1,0 +1,311 @@
+#include "trace/google_format.hpp"
+
+#include <filesystem>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace cgc::trace {
+
+namespace {
+
+/// clusterdata event code <-> TaskEventType.
+int event_code(TaskEventType e) {
+  switch (e) {
+    case TaskEventType::kSubmit:
+      return 0;
+    case TaskEventType::kSchedule:
+      return 1;
+    case TaskEventType::kEvict:
+      return 2;
+    case TaskEventType::kFail:
+      return 3;
+    case TaskEventType::kFinish:
+      return 4;
+    case TaskEventType::kKill:
+      return 5;
+    case TaskEventType::kLost:
+      return 6;
+    case TaskEventType::kUpdate:
+      return 7;
+  }
+  return -1;
+}
+
+TaskEventType event_from_code(std::int64_t code) {
+  switch (code) {
+    case 0:
+      return TaskEventType::kSubmit;
+    case 1:
+      return TaskEventType::kSchedule;
+    case 2:
+      return TaskEventType::kEvict;
+    case 3:
+      return TaskEventType::kFail;
+    case 4:
+      return TaskEventType::kFinish;
+    case 5:
+      return TaskEventType::kKill;
+    case 6:
+      return TaskEventType::kLost;
+    case 7:
+    case 8:  // UPDATE_PENDING / UPDATE_RUNNING both map to kUpdate
+      return TaskEventType::kUpdate;
+    default:
+      CGC_CHECK_MSG(false, "unknown task event code " + std::to_string(code));
+      return TaskEventType::kSubmit;
+  }
+}
+
+constexpr std::int64_t kMicrosPerSecond = 1'000'000;
+
+}  // namespace
+
+void write_task_events(const TraceSet& trace, const std::string& path) {
+  util::CsvWriter out(path);
+  std::vector<std::string> row(13);
+  for (const TaskEvent& e : trace.events()) {
+    row[0] = std::to_string(e.time * kMicrosPerSecond);
+    row[1] = "";  // missing_info
+    row[2] = std::to_string(e.job_id);
+    row[3] = std::to_string(e.task_index);
+    row[4] = e.machine_id < 0 ? "" : std::to_string(e.machine_id);
+    row[5] = std::to_string(event_code(e.type));
+    row[6] = "";  // user (opaque in the public trace)
+    row[7] = "0";  // scheduling class
+    row[8] = std::to_string(static_cast<int>(e.priority) - 1);
+    row[9] = "";
+    row[10] = "";
+    row[11] = "";
+    row[12] = "";
+    out.write_record(row);
+  }
+}
+
+void write_machine_events(const TraceSet& trace, const std::string& path) {
+  util::CsvWriter out(path);
+  std::vector<std::string> row(6);
+  for (const Machine& m : trace.machines()) {
+    row[0] = "0";
+    row[1] = std::to_string(m.machine_id);
+    row[2] = "0";  // ADD
+    // The public trace's opaque platform_id carries our attribute bits.
+    row[3] = std::to_string(static_cast<int>(m.attributes));
+    row[4] = util::format_double(m.cpu_capacity);
+    row[5] = util::format_double(m.mem_capacity);
+    out.write_record(row);
+  }
+}
+
+void write_host_usage(const TraceSet& trace, const std::string& path) {
+  util::CsvWriter out(path);
+  std::vector<std::string> row(12);
+  for (const HostLoadSeries& h : trace.host_load()) {
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      row[0] = std::to_string(h.machine_id());
+      row[1] = std::to_string(h.time_at(i));
+      row[2] = util::format_double(h.cpu(PriorityBand::kLow, i));
+      row[3] = util::format_double(h.cpu(PriorityBand::kMid, i));
+      row[4] = util::format_double(h.cpu(PriorityBand::kHigh, i));
+      row[5] = util::format_double(h.mem(PriorityBand::kLow, i));
+      row[6] = util::format_double(h.mem(PriorityBand::kMid, i));
+      row[7] = util::format_double(h.mem(PriorityBand::kHigh, i));
+      row[8] = util::format_double(h.mem_assigned(i));
+      row[9] = util::format_double(h.page_cache(i));
+      row[10] = std::to_string(h.running(i));
+      row[11] = std::to_string(h.pending(i));
+      out.write_record(row);
+    }
+  }
+}
+
+void write_google_trace(const TraceSet& trace, const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  write_task_events(trace, directory + "/task_events.csv");
+  write_machine_events(trace, directory + "/machine_events.csv");
+  write_host_usage(trace, directory + "/host_usage.csv");
+}
+
+namespace {
+
+void read_task_events(const std::string& path, TraceSet* trace) {
+  util::CsvReader in(path);
+  while (in.next_record()) {
+    const auto& f = in.fields();
+    CGC_CHECK_MSG(f.size() >= 9, path + ": task_events row too short at line " +
+                                     std::to_string(in.line_number()));
+    TaskEvent e;
+    e.time = util::parse_int(f[0]) / kMicrosPerSecond;
+    e.job_id = util::parse_int(f[2]);
+    e.task_index = static_cast<std::int32_t>(util::parse_int(f[3]));
+    e.machine_id = f[4].empty() ? -1 : util::parse_int(f[4]);
+    e.type = event_from_code(util::parse_int(f[5]));
+    const std::int64_t file_priority = util::parse_int(f[8]);
+    CGC_CHECK_MSG(file_priority >= 0 && file_priority < kNumPriorities,
+                  "priority out of range in " + path);
+    e.priority = static_cast<std::uint8_t>(file_priority + 1);
+    trace->add_event(e);
+  }
+}
+
+void read_machine_events(const std::string& path, TraceSet* trace) {
+  util::CsvReader in(path);
+  while (in.next_record()) {
+    const auto& f = in.fields();
+    CGC_CHECK_MSG(f.size() >= 6, path + ": machine_events row too short");
+    if (util::parse_int(f[2]) != 0) {
+      continue;  // only ADD events carry capacities we need
+    }
+    Machine m;
+    m.machine_id = util::parse_int(f[1]);
+    if (!f[3].empty()) {
+      m.attributes = static_cast<std::uint8_t>(util::parse_int(f[3]));
+    }
+    m.cpu_capacity = static_cast<float>(util::parse_double(f[4]));
+    m.mem_capacity = static_cast<float>(util::parse_double(f[5]));
+    trace->add_machine(m);
+  }
+}
+
+void read_host_usage(const std::string& path, TraceSet* trace) {
+  util::CsvReader in(path);
+  std::unordered_map<std::int64_t, HostLoadSeries> series;
+  while (in.next_record()) {
+    const auto& f = in.fields();
+    CGC_CHECK_MSG(f.size() >= 12, path + ": host_usage row too short");
+    const std::int64_t machine_id = util::parse_int(f[0]);
+    const TimeSec time = util::parse_int(f[1]);
+    auto [it, inserted] = series.try_emplace(
+        machine_id, machine_id, time, util::kSamplePeriod);
+    const float cpu[kNumBands] = {
+        static_cast<float>(util::parse_double(f[2])),
+        static_cast<float>(util::parse_double(f[3])),
+        static_cast<float>(util::parse_double(f[4]))};
+    const float mem[kNumBands] = {
+        static_cast<float>(util::parse_double(f[5])),
+        static_cast<float>(util::parse_double(f[6])),
+        static_cast<float>(util::parse_double(f[7]))};
+    it->second.append(cpu, mem, static_cast<float>(util::parse_double(f[8])),
+                      static_cast<float>(util::parse_double(f[9])),
+                      static_cast<std::int32_t>(util::parse_int(f[10])),
+                      static_cast<std::int32_t>(util::parse_int(f[11])));
+  }
+  for (auto& [id, s] : series) {
+    trace->add_host_load(std::move(s));
+  }
+}
+
+}  // namespace
+
+void rebuild_tasks_and_jobs(TraceSet* trace) {
+  // Tracks the live instance of each (job, task_index).
+  struct Open {
+    TaskState state = TaskState::kUnsubmitted;
+    Task record;
+  };
+  std::unordered_map<std::int64_t, std::unordered_map<std::int32_t, Open>>
+      open;
+
+  for (const TaskEvent& e : trace->events()) {
+    Open& o = open[e.job_id][e.task_index];
+    switch (e.type) {
+      case TaskEventType::kSubmit:
+        if (o.state == TaskState::kDead) {
+          ++o.record.resubmits;
+        } else {
+          o.record = Task{};
+          o.record.job_id = e.job_id;
+          o.record.task_index = e.task_index;
+          o.record.submit_time = e.time;
+        }
+        o.record.priority = e.priority;
+        o.state = TaskState::kPending;
+        break;
+      case TaskEventType::kSchedule:
+        if (o.state != TaskState::kPending) {
+          CGC_LOG(kWarn) << "SCHEDULE for non-pending task " << e.job_id << "/"
+                         << e.task_index << "; skipping";
+          break;
+        }
+        if (o.record.schedule_time < 0) {
+          o.record.schedule_time = e.time;
+        }
+        o.record.machine_id = e.machine_id;
+        o.state = TaskState::kRunning;
+        break;
+      case TaskEventType::kEvict:
+      case TaskEventType::kFail:
+      case TaskEventType::kFinish:
+      case TaskEventType::kKill:
+      case TaskEventType::kLost:
+        if (o.state != TaskState::kRunning && o.state != TaskState::kPending) {
+          CGC_LOG(kWarn) << "terminal event for idle task " << e.job_id << "/"
+                         << e.task_index << "; skipping";
+          break;
+        }
+        o.record.end_time = e.time;
+        o.record.end_event = e.type;
+        o.state = TaskState::kDead;
+        break;
+      case TaskEventType::kUpdate:
+        break;
+    }
+  }
+
+  for (auto& [job_id, tasks] : open) {
+    for (auto& [index, o] : tasks) {
+      trace->add_task(o.record);
+    }
+  }
+
+  // Aggregate jobs from their tasks.
+  std::unordered_map<std::int64_t, Job> jobs;
+  for (const Task& t : trace->tasks()) {
+    auto [it, inserted] = jobs.try_emplace(t.job_id);
+    Job& j = it->second;
+    if (inserted) {
+      j.job_id = t.job_id;
+      j.priority = t.priority;
+      j.submit_time = t.submit_time;
+      j.end_time = t.end_time;
+      j.num_tasks = 1;
+    } else {
+      j.submit_time = std::min(j.submit_time, t.submit_time);
+      // A job completes when its last task does; any unfinished task
+      // leaves the job unfinished.
+      if (j.end_time >= 0) {
+        j.end_time = t.end_time < 0 ? -1 : std::max(j.end_time, t.end_time);
+      }
+      ++j.num_tasks;
+    }
+  }
+  for (const auto& [id, job] : jobs) {
+    trace->add_job(job);
+  }
+}
+
+TraceSet read_google_trace(const std::string& directory,
+                           const std::string& system_name) {
+  TraceSet trace(system_name);
+  const std::string task_events_path = directory + "/task_events.csv";
+  const std::string machine_events_path = directory + "/machine_events.csv";
+  const std::string host_usage_path = directory + "/host_usage.csv";
+
+  CGC_CHECK_MSG(std::filesystem::exists(task_events_path),
+                "missing " + task_events_path);
+  read_task_events(task_events_path, &trace);
+  if (std::filesystem::exists(machine_events_path)) {
+    read_machine_events(machine_events_path, &trace);
+  }
+  if (std::filesystem::exists(host_usage_path)) {
+    read_host_usage(host_usage_path, &trace);
+  }
+  trace.finalize();  // sort events before reconstruction
+  rebuild_tasks_and_jobs(&trace);
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace cgc::trace

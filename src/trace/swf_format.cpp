@@ -1,0 +1,124 @@
+#include "trace/swf_format.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace cgc::trace {
+
+namespace {
+
+/// SWF fields are whitespace-separated with arbitrary spacing; reuse the
+/// line splitting logic with normalization.
+std::vector<std::string_view> split_ws(std::string_view line,
+                                       std::vector<std::string_view>* buf) {
+  buf->clear();
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) {
+      ++i;
+    }
+    if (i >= line.size()) {
+      break;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') {
+      ++i;
+    }
+    buf->push_back(line.substr(start, i - start));
+  }
+  return *buf;
+}
+
+}  // namespace
+
+TraceSet read_swf(const std::string& path, const std::string& system_name) {
+  std::ifstream in(path);
+  CGC_CHECK_MSG(in.good(), "cannot open SWF file: " + path);
+  TraceSet trace(system_name);
+  trace.set_memory_in_mb(true);
+
+  std::string line;
+  std::vector<std::string_view> fields;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line.front() == ';' || line.front() == '#') {
+      continue;
+    }
+    split_ws(line, &fields);
+    CGC_CHECK_MSG(fields.size() >= 18,
+                  path + ": SWF row needs 18 fields at line " +
+                      std::to_string(line_number));
+    const std::int64_t job_number = util::parse_int(fields[0]);
+    const std::int64_t submit = util::parse_int(fields[1]);
+    const std::int64_t wait = util::parse_int(fields[2]);
+    const double run_time = util::parse_double(fields[3]);
+    const std::int64_t procs = util::parse_int(fields[4]);
+    const double used_mem_kb = util::parse_double(fields[6]);
+    const std::int64_t status = util::parse_int(fields[10]);
+    const std::int64_t user = util::parse_int(fields[11]);
+
+    Job job;
+    job.job_id = job_number;
+    job.user_id = user < 0 ? 0 : user;
+    job.priority = 1;  // SWF has no Google-style priority
+    job.submit_time = submit;
+    const bool has_runtime = run_time >= 0.0;
+    const TimeSec wait_s = wait < 0 ? 0 : wait;
+    job.end_time = has_runtime
+                       ? submit + wait_s + static_cast<TimeSec>(run_time)
+                       : -1;
+    job.num_tasks = 1;
+    job.cpu_parallelism = procs > 0 ? static_cast<float>(procs) : 1.0f;
+    job.mem_usage = used_mem_kb > 0.0
+                        ? static_cast<float>(used_mem_kb *
+                                             job.cpu_parallelism / 1024.0)
+                        : 0.0f;
+    trace.add_job(job);
+
+    Task task;
+    task.job_id = job_number;
+    task.task_index = 0;
+    task.priority = 1;
+    task.submit_time = submit;
+    task.schedule_time = has_runtime ? submit + wait_s : -1;
+    task.end_time = job.end_time;
+    // SWF status 1 = completed OK; 0/5 = failed/cancelled.
+    task.end_event =
+        status == 1 ? TaskEventType::kFinish : TaskEventType::kKill;
+    task.cpu_request = job.cpu_parallelism;
+    task.cpu_usage = job.cpu_parallelism;
+    task.mem_usage = job.mem_usage;
+    trace.add_task(task);
+  }
+  trace.finalize();
+  return trace;
+}
+
+void write_swf(const TraceSet& trace, const std::string& path) {
+  std::ofstream out(path);
+  CGC_CHECK_MSG(out.good(), "cannot open SWF file for writing: " + path);
+  out << "; SWF written by cgc (" << trace.system_name() << ")\n";
+  out << "; UnixStartTime: 0\n";
+  for (const Job& j : trace.jobs()) {
+    const TimeSec run = j.completed() ? j.length() : -1;
+    std::ostringstream row;
+    row << j.job_id << ' ' << j.submit_time << ' ' << 0 << ' ' << run << ' '
+        << static_cast<std::int64_t>(j.cpu_parallelism) << ' ' << -1 << ' '
+        << static_cast<std::int64_t>(
+               j.mem_usage * 1024.0 /
+               std::max(1.0f, j.cpu_parallelism))
+        << ' ' << static_cast<std::int64_t>(j.cpu_parallelism) << ' ' << -1
+        << ' ' << -1 << ' ' << (j.completed() ? 1 : 0) << ' ' << j.user_id
+        << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1
+        << ' ' << -1;
+    out << row.str() << '\n';
+  }
+}
+
+}  // namespace cgc::trace

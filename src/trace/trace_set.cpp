@@ -1,0 +1,229 @@
+#include "trace/trace_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cgc::trace {
+
+void TraceSet::add_machine(Machine machine) {
+  machines_.push_back(machine);
+  finalized_ = false;
+}
+
+void TraceSet::add_job(Job job) {
+  jobs_.push_back(job);
+  finalized_ = false;
+}
+
+void TraceSet::add_task(Task task) {
+  tasks_.push_back(task);
+  finalized_ = false;
+}
+
+void TraceSet::add_event(TaskEvent event) {
+  events_.push_back(event);
+  finalized_ = false;
+}
+
+void TraceSet::add_host_load(HostLoadSeries series) {
+  host_load_.push_back(std::move(series));
+  finalized_ = false;
+}
+
+void TraceSet::finalize() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TaskEvent& a, const TaskEvent& b) {
+                     return a.time < b.time;
+                   });
+  std::sort(tasks_.begin(), tasks_.end(), [](const Task& a, const Task& b) {
+    if (a.job_id != b.job_id) {
+      return a.job_id < b.job_id;
+    }
+    return a.task_index < b.task_index;
+  });
+  std::sort(jobs_.begin(), jobs_.end(), [](const Job& a, const Job& b) {
+    return a.submit_time < b.submit_time;
+  });
+
+  machine_index_.clear();
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    machine_index_[machines_[i].machine_id] = i;
+  }
+  host_load_index_.clear();
+  for (std::size_t i = 0; i < host_load_.size(); ++i) {
+    host_load_index_[host_load_[i].machine_id()] = i;
+  }
+  job_index_.clear();
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    job_index_[jobs_[i].job_id] = i;
+  }
+  job_task_range_.clear();
+  if (!tasks_.empty()) {
+    std::size_t start = 0;
+    for (std::size_t i = 1; i <= tasks_.size(); ++i) {
+      if (i == tasks_.size() || tasks_[i].job_id != tasks_[start].job_id) {
+        job_task_range_[tasks_[start].job_id] = {start, i};
+        start = i;
+      }
+    }
+  }
+
+  if (duration_ == 0) {
+    TimeSec last = 0;
+    for (const TaskEvent& e : events_) {
+      last = std::max(last, e.time);
+    }
+    for (const Job& j : jobs_) {
+      last = std::max({last, j.submit_time, j.end_time});
+    }
+    duration_ = last;
+  }
+  finalized_ = true;
+}
+
+void TraceSet::require_finalized() const {
+  CGC_CHECK_MSG(finalized_, "TraceSet::finalize() must be called first");
+}
+
+std::optional<Machine> TraceSet::machine_by_id(std::int64_t machine_id) const {
+  require_finalized();
+  const auto it = machine_index_.find(machine_id);
+  if (it == machine_index_.end()) {
+    return std::nullopt;
+  }
+  return machines_[it->second];
+}
+
+const HostLoadSeries* TraceSet::host_load_for(std::int64_t machine_id) const {
+  require_finalized();
+  const auto it = host_load_index_.find(machine_id);
+  return it == host_load_index_.end() ? nullptr : &host_load_[it->second];
+}
+
+std::span<const Task> TraceSet::tasks_for_job(std::int64_t job_id) const {
+  require_finalized();
+  const auto it = job_task_range_.find(job_id);
+  if (it == job_task_range_.end()) {
+    return {};
+  }
+  return std::span<const Task>(tasks_).subspan(
+      it->second.first, it->second.second - it->second.first);
+}
+
+const Job* TraceSet::job_by_id(std::int64_t job_id) const {
+  require_finalized();
+  const auto it = job_index_.find(job_id);
+  return it == job_index_.end() ? nullptr : &jobs_[it->second];
+}
+
+TraceSummary TraceSet::summary() const {
+  TraceSummary s;
+  s.num_jobs = jobs_.size();
+  s.num_tasks = tasks_.size();
+  s.num_events = events_.size();
+  s.num_machines = machines_.size();
+  s.duration = duration_;
+  for (const HostLoadSeries& h : host_load_) {
+    s.num_samples += h.size();
+  }
+  std::size_t terminal = 0;
+  std::size_t abnormal = 0;
+  for (const TaskEvent& e : events_) {
+    if (is_terminal(e.type)) {
+      ++terminal;
+      if (is_abnormal(e.type)) {
+        ++abnormal;
+      }
+    }
+  }
+  s.abnormal_completion_fraction =
+      terminal == 0 ? 0.0
+                    : static_cast<double>(abnormal) /
+                          static_cast<double>(terminal);
+  return s;
+}
+
+std::vector<double> TraceSet::job_lengths() const {
+  std::vector<double> out;
+  out.reserve(jobs_.size());
+  for (const Job& j : jobs_) {
+    if (j.completed()) {
+      out.push_back(static_cast<double>(j.length()));
+    }
+  }
+  return out;
+}
+
+std::vector<double> TraceSet::task_run_durations() const {
+  std::vector<double> out;
+  out.reserve(tasks_.size());
+  for (const Task& t : tasks_) {
+    if (t.schedule_time >= 0 && t.end_time >= 0) {
+      out.push_back(static_cast<double>(t.run_duration()));
+    }
+  }
+  return out;
+}
+
+std::vector<double> TraceSet::job_submit_times() const {
+  std::vector<double> out;
+  out.reserve(jobs_.size());
+  for (const Job& j : jobs_) {
+    out.push_back(static_cast<double>(j.submit_time));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> TraceSet::submission_intervals() const {
+  const std::vector<double> times = job_submit_times();
+  std::vector<double> out;
+  if (times.size() < 2) {
+    return out;
+  }
+  out.reserve(times.size() - 1);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    out.push_back(times[i] - times[i - 1]);
+  }
+  return out;
+}
+
+std::vector<double> TraceSet::jobs_per_hour() const {
+  CGC_CHECK_MSG(duration_ > 0, "trace duration unknown");
+  const auto num_hours = static_cast<std::size_t>(
+      (duration_ + util::kSecondsPerHour - 1) / util::kSecondsPerHour);
+  std::vector<double> counts(std::max<std::size_t>(num_hours, 1), 0.0);
+  for (const Job& j : jobs_) {
+    const auto hour = static_cast<std::size_t>(
+        std::clamp<TimeSec>(j.submit_time / util::kSecondsPerHour, 0,
+                            static_cast<TimeSec>(counts.size()) - 1));
+    counts[hour] += 1.0;
+  }
+  return counts;
+}
+
+std::vector<double> TraceSet::job_cpu_usage() const {
+  std::vector<double> out;
+  out.reserve(jobs_.size());
+  for (const Job& j : jobs_) {
+    out.push_back(static_cast<double>(j.cpu_parallelism));
+  }
+  return out;
+}
+
+std::vector<double> TraceSet::job_mem_usage(double max_capacity_gb) const {
+  std::vector<double> out;
+  out.reserve(jobs_.size());
+  for (const Job& j : jobs_) {
+    double mem = static_cast<double>(j.mem_usage);
+    if (!memory_in_mb_ && max_capacity_gb > 0.0) {
+      mem *= max_capacity_gb * 1024.0;  // normalized -> MB
+    }
+    out.push_back(mem);
+  }
+  return out;
+}
+
+}  // namespace cgc::trace

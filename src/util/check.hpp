@@ -1,0 +1,42 @@
+// Error-handling primitives for the cgc library.
+//
+// Invariant violations and precondition failures throw cgc::util::Error,
+// carrying the failed expression and source location. Following the C++
+// Core Guidelines (I.5/I.6/E.x) we express preconditions as checks that
+// throw rather than abort, so library users can recover.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cgc::util {
+
+/// Exception thrown by CGC_CHECK / CGC_CHECK_MSG on failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& message);
+}  // namespace detail
+
+}  // namespace cgc::util
+
+/// Check a precondition/invariant; throws cgc::util::Error on failure.
+#define CGC_CHECK(expr)                                                    \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::cgc::util::detail::fail_check(#expr, __FILE__, __LINE__, "");      \
+    }                                                                      \
+  } while (false)
+
+/// Check with an additional human-readable message (streams allowed via
+/// std::string concatenation at the call site).
+#define CGC_CHECK_MSG(expr, msg)                                           \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::cgc::util::detail::fail_check(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,84 @@
+// Minimal, fast CSV reading/writing for trace files.
+//
+// The trace formats we handle (Google clusterdata-style CSV, GWA) are
+// plain comma-separated numeric/text tables without quoting or embedded
+// commas, so this module deliberately implements the simple dialect:
+// fields split on ',', records split on '\n'. Parsing works on
+// string_views into a reusable line buffer — zero allocations per field.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgc::util {
+
+/// Splits `line` on `sep` into `out` (cleared first). Views point into
+/// `line`; they are invalidated when the underlying buffer changes.
+void split_fields(std::string_view line, char sep,
+                  std::vector<std::string_view>* out);
+
+/// Parses a signed integer field; throws cgc::util::Error on garbage.
+std::int64_t parse_int(std::string_view field);
+
+/// Parses a double field; throws cgc::util::Error on garbage.
+double parse_double(std::string_view field);
+
+/// Parses a double field that may be empty; empty -> nullopt.
+std::optional<double> parse_optional_double(std::string_view field);
+
+/// Streaming CSV reader over a file. Usage:
+///   CsvReader r(path);
+///   while (r.next_record()) { use r.fields(); }
+class CsvReader {
+ public:
+  explicit CsvReader(const std::string& path, char sep = ',');
+
+  /// Advances to the next non-empty, non-comment record. Lines starting
+  /// with '#' or ';' are skipped (SWF/GWA headers use ';').
+  bool next_record();
+
+  /// Fields of the current record; valid until the next next_record().
+  const std::vector<std::string_view>& fields() const { return fields_; }
+
+  /// 1-based line number of the current record (for error messages).
+  std::size_t line_number() const { return line_number_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  char sep_;
+  std::string line_;
+  std::vector<std::string_view> fields_;
+  std::size_t line_number_ = 0;
+};
+
+/// Buffered CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path, char sep = ',');
+
+  /// Writes one record; values are written verbatim.
+  void write_record(const std::vector<std::string>& values);
+
+  /// Writes a raw line (e.g. a comment header).
+  void write_line(std::string_view line);
+
+  void flush();
+
+ private:
+  std::ofstream out_;
+  char sep_;
+};
+
+/// Formats a double with enough precision to round-trip trace values
+/// without inflating file sizes (up to 10 significant digits, trailing
+/// zeros trimmed).
+std::string format_double(double value);
+
+}  // namespace cgc::util

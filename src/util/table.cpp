@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cgc::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CGC_CHECK(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  CGC_CHECK_MSG(row.size() == header_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&widths] {
+    std::string s = "+";
+    for (const std::size_t w : widths) {
+      s += std::string(w + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  }();
+
+  const auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += ' ';
+      s += row[c];
+      s += std::string(widths[c] - row[c].size() + 1, ' ');
+      s += '|';
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::ostringstream out;
+  if (!caption_.empty()) {
+    out << caption_ << '\n';
+  }
+  out << rule << render_row(header_) << rule;
+  for (const auto& row : rows_) {
+    out << render_row(row);
+  }
+  out << rule;
+  return out.str();
+}
+
+std::string cell(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string cell_int(long long value) {
+  const bool negative = value < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(value)
+               : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) {
+      out += ',';
+    }
+    out += digits[i];
+  }
+  return negative ? "-" + out : out;
+}
+
+std::string cell_ratio(double x, double y) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f/%.0f", x, y);
+  return buf;
+}
+
+std::string cell_pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace cgc::util

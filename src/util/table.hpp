@@ -1,0 +1,47 @@
+// ASCII table rendering for analysis reports and bench harness output.
+//
+// Produces aligned, boxed tables matching the style of the paper's
+// Tables I-III so bench output can be eyeballed against the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgc::util {
+
+/// A simple row/column table with a header row. Cells are strings;
+/// numeric formatting is the caller's job (see cell() helpers).
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Optional caption printed above the table.
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  /// Renders the table with column alignment and box-drawing rules.
+  std::string render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits.
+std::string cell(double value, int digits = 4);
+
+/// Formats an integer with thousands separators (1,234,567).
+std::string cell_int(long long value);
+
+/// Formats a ratio pair as "X/Y" (joint-ratio style).
+std::string cell_ratio(double x, double y);
+
+/// Formats a percentage like "42.3%".
+std::string cell_pct(double fraction, int decimals = 1);
+
+}  // namespace cgc::util

@@ -1,0 +1,65 @@
+// Fixed-size thread pool and data-parallel helpers.
+//
+// The analysis pipelines fan out per machine / per job. Work is split
+// into contiguous chunks, each chunk processed by one worker with its own
+// accumulator, merged after a join — no shared mutable state inside the
+// parallel region (Core Guidelines CP.2/CP.3/CP.20: RAII joins, no data
+// races by construction).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cgc::util {
+
+/// A fixed pool of worker threads executing enqueued tasks FIFO.
+/// Destruction joins all workers after draining the queue (RAII).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Process-wide shared pool (lazily constructed, never destroyed before
+  /// exit). Use for transient data-parallel regions.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the shared pool using static
+/// chunking. Blocks until all iterations complete. Exceptions from any
+/// iteration are rethrown (first one wins).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) once per chunk. Preferred
+/// when per-iteration work is tiny — lets the caller keep a chunk-local
+/// accumulator.
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace cgc::util

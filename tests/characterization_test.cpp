@@ -1,0 +1,115 @@
+// End-to-end test of the cgc::Characterization facade.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/characterization.hpp"
+#include "util/check.hpp"
+
+namespace cgc {
+namespace {
+
+/// A single small end-to-end run shared by all checks in this file.
+class CharacterizationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CharacterizationConfig config;
+    config.workload_horizon = util::kSecondsPerDay;
+    config.hostload_horizon = 2 * util::kSecondsPerDay;
+    config.google_machines = 12;
+    config.grid_machines = 6;
+    config.grid_systems = {"AuverGrid", "SHARCNET", "DAS-2"};
+    study_ = new Characterization(config);
+    study_->run();
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    study_ = nullptr;
+  }
+  static Characterization* study_;
+};
+
+Characterization* CharacterizationTest::study_ = nullptr;
+
+TEST_F(CharacterizationTest, WorkloadTracesBuilt) {
+  EXPECT_GT(study_->google_workload().jobs().size(), 1000u);
+  ASSERT_EQ(study_->grid_workloads().size(), 3u);
+  EXPECT_EQ(study_->grid_workloads()[0].system_name(), "AuverGrid");
+}
+
+TEST_F(CharacterizationTest, HostloadTracesBuilt) {
+  EXPECT_EQ(study_->google_hostload().machines().size(), 12u);
+  EXPECT_GT(study_->google_hostload().summary().num_samples, 0u);
+  // Fig 13 grids: AuverGrid and SHARCNET were requested and simulated.
+  ASSERT_EQ(study_->grid_hostloads().size(), 2u);
+}
+
+TEST_F(CharacterizationTest, ReportIsComplete) {
+  const CharacterizationReport& report = study_->report();
+  EXPECT_FALSE(report.job_length_cdf.series.empty());
+  EXPECT_FALSE(report.submission_interval_cdf.series.empty());
+  EXPECT_EQ(report.submission_stats.size(), 4u);  // google + 3 grids
+  EXPECT_GE(report.task_mass_count.size(), 2u);   // google + AuverGrid
+  ASSERT_TRUE(report.max_load.has_value());
+  ASSERT_TRUE(report.queue_state.has_value());
+  ASSERT_TRUE(report.queue_runs.has_value());
+  EXPECT_EQ(report.usage_snapshots.size(), 4u);    // {cpu,mem}x{low,high}
+  EXPECT_EQ(report.usage_mass_count.size(), 4u);
+  EXPECT_EQ(report.level_tables.size(), 2u);       // Tables II and III
+  ASSERT_TRUE(report.hostload_comparison.has_value());
+  EXPECT_EQ(report.hostload_comparison->systems.size(), 3u);
+}
+
+TEST_F(CharacterizationTest, SummaryMentionsKeyArtifacts) {
+  const std::string summary = study_->report().render_summary();
+  EXPECT_NE(summary.find("Table I"), std::string::npos);
+  EXPECT_NE(summary.find("Fig 2"), std::string::npos);
+  EXPECT_NE(summary.find("Fig 4"), std::string::npos);
+  EXPECT_NE(summary.find("abnormal"), std::string::npos);
+  EXPECT_NE(summary.find("google"), std::string::npos);
+}
+
+TEST_F(CharacterizationTest, WritesAllFigures) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cgc_char_test_" + std::to_string(::getpid()));
+  study_->report().write_all_figures(dir.string());
+  std::size_t dat_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".dat") {
+      ++dat_files;
+    }
+  }
+  // One file per series: fig02, fig03 (x4 systems), fig04 (x2), fig05,
+  // fig06a/b, fig07a-d, fig08a/b, fig09, fig10 (x4), fig11/12 (x4),
+  // fig13 (x3) — a few dozen in total.
+  EXPECT_GT(dat_files, 25u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CharacterizationTest, RunIsSingleShot) {
+  EXPECT_THROW(study_->run(), util::Error);
+}
+
+TEST(CharacterizationConfigTest, UnknownGridSystemThrows) {
+  CharacterizationConfig config;
+  config.workload_horizon = util::kSecondsPerHour;
+  config.run_hostload = false;
+  config.grid_systems = {"NotASystem"};
+  Characterization study(config);
+  EXPECT_THROW(study.run(), util::Error);
+}
+
+TEST(CharacterizationConfigTest, WorkloadOnlyRunSkipsHostload) {
+  CharacterizationConfig config;
+  config.workload_horizon = util::kSecondsPerHour * 6;
+  config.run_hostload = false;
+  config.grid_systems = {"AuverGrid"};
+  Characterization study(config);
+  const CharacterizationReport& report = study.run();
+  EXPECT_FALSE(report.max_load.has_value());
+  EXPECT_FALSE(report.hostload_comparison.has_value());
+  EXPECT_FALSE(report.submission_stats.empty());
+}
+
+}  // namespace
+}  // namespace cgc

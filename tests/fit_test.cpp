@@ -1,0 +1,103 @@
+// Tests for MLE fitting: sample -> fit -> recovered parameters.
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hpp"
+#include "stats/fit.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cgc::stats {
+namespace {
+
+TEST(FitExponential, RecoversMean) {
+  util::Rng rng(1);
+  const Exponential d(37.0);
+  const auto v = sample_many(d, 50000, rng);
+  EXPECT_NEAR(fit_exponential_mean(v) / 37.0, 1.0, 0.02);
+}
+
+TEST(FitExponential, EmptyThrows) {
+  EXPECT_THROW(fit_exponential_mean(std::vector<double>{}), util::Error);
+}
+
+/// Round-trip property across Pareto shapes.
+class ParetoRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParetoRoundTrip, RecoversAlpha) {
+  util::Rng rng(2);
+  const double alpha = GetParam();
+  const Pareto d(5.0, alpha);
+  const auto v = sample_many(d, 50000, rng);
+  const ParetoFit fit = fit_pareto(v);
+  EXPECT_NEAR(fit.xm, 5.0, 0.05);
+  EXPECT_NEAR(fit.alpha / alpha, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ParetoRoundTrip,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.5, 2.5, 4.0));
+
+TEST(FitPareto, DegenerateSampleGivesInfiniteAlpha) {
+  const std::vector<double> v(10, 3.0);
+  EXPECT_TRUE(std::isinf(fit_pareto(v).alpha));
+}
+
+/// Round-trip property across lognormal shapes.
+struct LogNormalCase {
+  double median;
+  double sigma;
+};
+class LogNormalRoundTrip : public ::testing::TestWithParam<LogNormalCase> {};
+
+TEST_P(LogNormalRoundTrip, RecoversParameters) {
+  util::Rng rng(3);
+  const LogNormal d(GetParam().median, GetParam().sigma);
+  const auto v = sample_many(d, 50000, rng);
+  const LogNormalFit fit = fit_lognormal(v);
+  EXPECT_NEAR(fit.median / GetParam().median, 1.0, 0.03);
+  EXPECT_NEAR(fit.sigma / GetParam().sigma, 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LogNormalRoundTrip,
+    ::testing::Values(LogNormalCase{10.0, 0.3}, LogNormalCase{100.0, 1.0},
+                      LogNormalCase{500.0, 1.5}, LogNormalCase{1.0, 2.0}));
+
+TEST(FitLogNormal, NonPositiveValueThrows) {
+  const std::vector<double> v = {1.0, 0.0};
+  EXPECT_THROW(fit_lognormal(v), util::Error);
+}
+
+TEST(KsGoodnessOfFit, CorrectModelScoresSmall) {
+  util::Rng rng(4);
+  const LogNormal d(50.0, 1.0);
+  const auto v = sample_many(d, 5000, rng);
+  EXPECT_LT(ks_lognormal(v, 50.0, 1.0), 0.03);
+}
+
+TEST(KsGoodnessOfFit, WrongModelScoresLarge) {
+  util::Rng rng(5);
+  const LogNormal d(50.0, 1.5);
+  const auto v = sample_many(d, 5000, rng);
+  // An exponential with the same mean is a bad fit for a wide lognormal.
+  EXPECT_GT(ks_exponential(v, d.mean()), 0.15);
+}
+
+TEST(KsGoodnessOfFit, FittedParamsBeatWrongParams) {
+  util::Rng rng(6);
+  const LogNormal d(200.0, 0.8);
+  const auto v = sample_many(d, 5000, rng);
+  const LogNormalFit fit = fit_lognormal(v);
+  const double good = ks_lognormal(v, fit.median, fit.sigma);
+  const double bad = ks_lognormal(v, fit.median * 3.0, fit.sigma);
+  EXPECT_LT(good, bad);
+}
+
+TEST(KsExponential, SelfFitIsSmall) {
+  util::Rng rng(7);
+  const Exponential d(10.0);
+  const auto v = sample_many(d, 5000, rng);
+  EXPECT_LT(ks_exponential(v, fit_exponential_mean(v)), 0.03);
+}
+
+}  // namespace
+}  // namespace cgc::stats

@@ -1,0 +1,235 @@
+// Round-trip and schema tests for the Google clusterdata, SWF, and GWA
+// trace formats.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "trace/google_format.hpp"
+#include "trace/gwa_format.hpp"
+#include "trace/swf_format.hpp"
+#include "util/check.hpp"
+
+namespace cgc::trace {
+namespace {
+
+class FormatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cgc_fmt_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TraceSet make_event_trace() {
+  TraceSet trace("roundtrip");
+  Machine m;
+  m.machine_id = 3;
+  m.cpu_capacity = 0.5f;
+  m.mem_capacity = 0.25f;
+  m.attributes = kAttrLocalSsd | kAttrExternalIp;
+  trace.add_machine(m);
+
+  // Task 1/0: submit -> schedule -> finish.
+  trace.add_event({10, 1, 0, -1, TaskEventType::kSubmit, 2});
+  trace.add_event({12, 1, 0, 3, TaskEventType::kSchedule, 2});
+  trace.add_event({500, 1, 0, 3, TaskEventType::kFinish, 2});
+  // Task 2/0: submit -> schedule -> fail -> resubmit -> schedule -> finish.
+  trace.add_event({20, 2, 0, -1, TaskEventType::kSubmit, 11});
+  trace.add_event({25, 2, 0, 3, TaskEventType::kSchedule, 11});
+  trace.add_event({100, 2, 0, 3, TaskEventType::kFail, 11});
+  trace.add_event({160, 2, 0, -1, TaskEventType::kSubmit, 11});
+  trace.add_event({170, 2, 0, 3, TaskEventType::kSchedule, 11});
+  trace.add_event({900, 2, 0, 3, TaskEventType::kFinish, 11});
+
+  HostLoadSeries h(3, 0, util::kSamplePeriod);
+  const float cpu[kNumBands] = {0.12f, 0.0f, 0.08f};
+  const float mem[kNumBands] = {0.05f, 0.01f, 0.02f};
+  h.append(cpu, mem, 0.2f, 0.15f, 2, 0);
+  h.append(cpu, mem, 0.22f, 0.18f, 2, 1);
+  trace.add_host_load(std::move(h));
+  trace.finalize();
+  return trace;
+}
+
+TEST_F(FormatsTest, GoogleTraceRoundTrip) {
+  const TraceSet original = make_event_trace();
+  const std::string dir = path("google_trace");
+  write_google_trace(original, dir);
+
+  const TraceSet loaded = read_google_trace(dir, "loaded");
+  EXPECT_EQ(loaded.system_name(), "loaded");
+  EXPECT_EQ(loaded.events().size(), original.events().size());
+  EXPECT_EQ(loaded.machines().size(), 1u);
+  EXPECT_FLOAT_EQ(loaded.machine_by_id(3)->cpu_capacity, 0.5f);
+  // Attribute bits ride through the platform_id column.
+  EXPECT_EQ(loaded.machine_by_id(3)->attributes,
+            kAttrLocalSsd | kAttrExternalIp);
+  EXPECT_TRUE(loaded.machine_by_id(3)->satisfies(kAttrLocalSsd));
+  EXPECT_FALSE(loaded.machine_by_id(3)->satisfies(kAttrNewKernel));
+
+  // Tasks reconstructed from the event stream.
+  ASSERT_EQ(loaded.tasks().size(), 2u);
+  const auto t1 = loaded.tasks_for_job(1);
+  ASSERT_EQ(t1.size(), 1u);
+  EXPECT_EQ(t1[0].submit_time, 10);
+  EXPECT_EQ(t1[0].schedule_time, 12);
+  EXPECT_EQ(t1[0].end_time, 500);
+  EXPECT_EQ(t1[0].end_event, TaskEventType::kFinish);
+  EXPECT_EQ(t1[0].priority, 2);
+  EXPECT_EQ(t1[0].resubmits, 0);
+  const auto t2 = loaded.tasks_for_job(2);
+  ASSERT_EQ(t2.size(), 1u);
+  EXPECT_EQ(t2[0].resubmits, 1);
+  EXPECT_EQ(t2[0].end_time, 900);
+
+  // Jobs aggregated from tasks.
+  ASSERT_EQ(loaded.jobs().size(), 2u);
+  EXPECT_EQ(loaded.job_by_id(1)->priority, 2);
+  EXPECT_EQ(loaded.job_by_id(2)->priority, 11);
+
+  // Host load restored.
+  ASSERT_NE(loaded.host_load_for(3), nullptr);
+  EXPECT_EQ(loaded.host_load_for(3)->size(), 2u);
+  EXPECT_NEAR(loaded.host_load_for(3)->cpu(PriorityBand::kHigh, 0), 0.08f,
+              1e-6);
+  EXPECT_EQ(loaded.host_load_for(3)->running(0), 2);
+}
+
+TEST_F(FormatsTest, GoogleEventPrioritiesAreZeroBasedOnDisk) {
+  const TraceSet original = make_event_trace();
+  const std::string dir = path("pri_check");
+  write_google_trace(original, dir);
+  std::ifstream in(dir + "/task_events.csv");
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  // First event is priority 2 in memory -> "1" in the 9th column.
+  std::vector<std::string> fields;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    fields.push_back(field);
+  }
+  ASSERT_GE(fields.size(), 9u);
+  EXPECT_EQ(fields[8], "1");
+}
+
+TEST_F(FormatsTest, GoogleMissingDirectoryThrows) {
+  EXPECT_THROW(read_google_trace(path("nope")), util::Error);
+}
+
+TEST_F(FormatsTest, SwfRoundTrip) {
+  TraceSet original("swf-system");
+  original.set_memory_in_mb(true);
+  Job j;
+  j.job_id = 17;
+  j.user_id = 4;
+  j.submit_time = 3600;
+  j.end_time = 3600 + 7200;
+  j.num_tasks = 1;
+  j.cpu_parallelism = 8.0f;
+  j.mem_usage = 2048.0f;  // MB across the job
+  original.add_job(j);
+  original.set_duration(86400);
+  original.finalize();
+
+  const std::string p = path("trace.swf");
+  write_swf(original, p);
+  const TraceSet loaded = read_swf(p, "swf-system");
+  ASSERT_EQ(loaded.jobs().size(), 1u);
+  const Job& lj = loaded.jobs()[0];
+  EXPECT_EQ(lj.job_id, 17);
+  EXPECT_EQ(lj.submit_time, 3600);
+  EXPECT_EQ(lj.length(), 7200);
+  EXPECT_FLOAT_EQ(lj.cpu_parallelism, 8.0f);
+  EXPECT_NEAR(lj.mem_usage, 2048.0f, 8.0f);
+  EXPECT_TRUE(loaded.memory_in_mb());
+  ASSERT_EQ(loaded.tasks().size(), 1u);
+  EXPECT_EQ(loaded.tasks()[0].end_event, TaskEventType::kFinish);
+}
+
+TEST_F(FormatsTest, SwfParsesStandardFixture) {
+  const std::string p = path("fixture.swf");
+  {
+    std::ofstream out(p);
+    out << "; Version: 2\n";
+    out << "; UnixStartTime: 0\n";
+    // job submit wait run procs avgcpu mem reqprocs reqtime reqmem status
+    // uid gid exe queue partition preceding think
+    out << "1 0 30 3600 4 -1 102400 4 7200 -1 1 12 -1 -1 1 -1 -1 -1\n";
+    out << "2 100 -1 -1 1 -1 -1 1 600 -1 0 13 -1 -1 1 -1 -1 -1\n";
+  }
+  const TraceSet loaded = read_swf(p, "fixture");
+  ASSERT_EQ(loaded.jobs().size(), 2u);
+  EXPECT_EQ(loaded.jobs()[0].length(), 3630);  // wait + run
+  // used_memory is KB/proc: 102400 KB * 4 procs = 400 MB.
+  EXPECT_NEAR(loaded.jobs()[0].mem_usage, 400.0f, 0.5f);
+  EXPECT_FALSE(loaded.jobs()[1].completed());  // run_time = -1
+}
+
+TEST_F(FormatsTest, SwfTooFewFieldsThrows) {
+  const std::string p = path("bad.swf");
+  {
+    std::ofstream out(p);
+    out << "1 0 30 3600\n";
+  }
+  EXPECT_THROW(read_swf(p, "bad"), util::Error);
+}
+
+TEST_F(FormatsTest, GwaRoundTrip) {
+  TraceSet original("gwa-system");
+  original.set_memory_in_mb(true);
+  Job j;
+  j.job_id = 5;
+  j.submit_time = 500;
+  j.end_time = 500 + 1800;
+  j.cpu_parallelism = 2.0f;
+  j.mem_usage = 768.0f;
+  original.add_job(j);
+  original.set_duration(10000);
+  original.finalize();
+
+  const std::string p = path("trace.gwf");
+  write_gwa(original, p);
+  const TraceSet loaded = read_gwa(p, "gwa-system");
+  ASSERT_EQ(loaded.jobs().size(), 1u);
+  EXPECT_EQ(loaded.jobs()[0].job_id, 5);
+  EXPECT_EQ(loaded.jobs()[0].length(), 1800);
+  EXPECT_FLOAT_EQ(loaded.jobs()[0].cpu_parallelism, 2.0f);
+  EXPECT_NEAR(loaded.jobs()[0].mem_usage, 768.0f, 1.0f);
+}
+
+TEST_F(FormatsTest, GwaSkipsHeaderComments) {
+  const std::string p = path("hdr.gwf");
+  {
+    std::ofstream out(p);
+    out << "; GWA header\n";
+    out << "7 0 10 100 1 -1 -1 1 -1 -1 1\n";
+  }
+  const TraceSet loaded = read_gwa(p, "hdr");
+  ASSERT_EQ(loaded.jobs().size(), 1u);
+  EXPECT_EQ(loaded.jobs()[0].length(), 110);
+}
+
+TEST_F(FormatsTest, RebuildHandlesUnfinishedTasks) {
+  TraceSet trace("partial");
+  trace.add_event({10, 1, 0, -1, TaskEventType::kSubmit, 1});
+  trace.add_event({15, 1, 0, 2, TaskEventType::kSchedule, 1});
+  // No terminal event: still running at trace end.
+  trace.finalize();
+  rebuild_tasks_and_jobs(&trace);
+  trace.finalize();
+  ASSERT_EQ(trace.tasks().size(), 1u);
+  EXPECT_EQ(trace.tasks()[0].end_time, -1);
+  ASSERT_EQ(trace.jobs().size(), 1u);
+  EXPECT_FALSE(trace.jobs()[0].completed());
+}
+
+}  // namespace
+}  // namespace cgc::trace

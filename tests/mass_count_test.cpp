@@ -1,0 +1,156 @@
+// Tests for mass-count disparity — the paper's central statistical tool.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "stats/mass_count.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cgc::stats {
+namespace {
+
+TEST(MassCount, ConstantSampleIsPerfectlyBalanced) {
+  const std::vector<double> v(100, 5.0);
+  const MassCountResult r = mass_count_disparity(v);
+  // Every item carries identical mass: crossover at 50/50 and the two
+  // medians coincide.
+  EXPECT_NEAR(r.joint_ratio_mass, 50.0, 1.0);
+  EXPECT_NEAR(r.joint_ratio_count, 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.mm_distance, 0.0);
+}
+
+TEST(MassCount, JointRatioSidesSumToHundred) {
+  util::Rng rng(1);
+  const LogNormal dist(100.0, 2.0);
+  const std::vector<double> v = sample_many(dist, 5000, rng);
+  const MassCountResult r = mass_count_disparity(v);
+  EXPECT_NEAR(r.joint_ratio_mass + r.joint_ratio_count, 100.0, 1.0);
+  EXPECT_LE(r.joint_ratio_mass, r.joint_ratio_count);
+}
+
+TEST(MassCount, HeavyTailIsSkewed) {
+  util::Rng rng(2);
+  // Bounded Pareto with a very heavy tail: few huge items carry most of
+  // the mass -> Pareto-principle style joint ratio.
+  const BoundedPareto dist(1.0, 1e6, 0.5);
+  const std::vector<double> v = sample_many(dist, 20000, rng);
+  const MassCountResult r = mass_count_disparity(v);
+  EXPECT_LT(r.joint_ratio_mass, 20.0);
+  EXPECT_GT(r.joint_ratio_count, 80.0);
+  EXPECT_TRUE(r.pareto_principle());
+  EXPECT_GT(r.mass_median, r.count_median);
+}
+
+TEST(MassCount, UniformIsMildlySkewed) {
+  util::Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) {
+    v.push_back(rng.uniform(0.0, 1.0));
+  }
+  const MassCountResult r = mass_count_disparity(v);
+  // Uniform [0,1]: joint ratio lands near 40/60 analytically
+  // (x* with Fc + Fm = 1 -> x + x^2 = 1 -> x = 0.618; Fm = 0.382).
+  EXPECT_NEAR(r.joint_ratio_mass, 38.2, 3.0);
+  EXPECT_NEAR(r.joint_ratio_count, 61.8, 3.0);
+  // Count median 0.5, mass median sqrt(0.5) ~ 0.707.
+  EXPECT_NEAR(r.mm_distance, 0.207, 0.03);
+  EXPECT_FALSE(r.pareto_principle());
+}
+
+TEST(MassCount, ExponentialAnalyticCrossCheck) {
+  util::Rng rng(4);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) {
+    v.push_back(rng.exponential(1.0));
+  }
+  const MassCountResult r = mass_count_disparity(v);
+  // For Exp(1): count median ln 2 = 0.693; the mass CDF is the Gamma(2)
+  // CDF, whose median is ~1.678. mm-distance ~ 0.985.
+  EXPECT_NEAR(r.count_median, 0.693, 0.05);
+  EXPECT_NEAR(r.mass_median, 1.678, 0.08);
+  EXPECT_NEAR(r.mm_distance, 0.985, 0.1);
+}
+
+TEST(MassCount, EmptySampleThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mass_count_disparity(empty), util::Error);
+}
+
+TEST(MassCount, NegativeValuesThrow) {
+  const std::vector<double> v = {1.0, -2.0};
+  EXPECT_THROW(mass_count_disparity(v), util::Error);
+}
+
+TEST(MassCount, ZeroTotalMassThrows) {
+  const std::vector<double> v = {0.0, 0.0};
+  EXPECT_THROW(mass_count_disparity(v), util::Error);
+}
+
+TEST(MassCountPlot, CurvesAreValidCdfs) {
+  util::Rng rng(5);
+  const LogNormal dist(10.0, 1.0);
+  const std::vector<double> v = sample_many(dist, 3000, rng);
+  const auto plot = mass_count_plot(v, 150);
+  ASSERT_FALSE(plot.empty());
+  double prev_x = -1.0, prev_c = 0.0, prev_m = 0.0;
+  for (const auto& row : plot) {
+    EXPECT_GE(row[0], prev_x);
+    EXPECT_GE(row[1], prev_c);
+    EXPECT_GE(row[2], prev_m);
+    // Count CDF dominates mass CDF for positive samples.
+    EXPECT_GE(row[1], row[2] - 1e-9);
+    prev_x = row[0];
+    prev_c = row[1];
+    prev_m = row[2];
+  }
+  EXPECT_DOUBLE_EQ(plot.back()[1], 1.0);
+  EXPECT_DOUBLE_EQ(plot.back()[2], 1.0);
+}
+
+/// Property sweep: invariants hold across distributions and seeds.
+struct MassCountCase {
+  std::uint64_t seed;
+  double sigma;  // lognormal sigma — skew knob
+};
+
+class MassCountProperty : public ::testing::TestWithParam<MassCountCase> {};
+
+TEST_P(MassCountProperty, InvariantsHold) {
+  util::Rng rng(GetParam().seed);
+  const LogNormal dist(50.0, GetParam().sigma);
+  const std::vector<double> v = sample_many(dist, 2000, rng);
+  const MassCountResult r = mass_count_disparity(v);
+  EXPECT_GE(r.joint_ratio_mass, 0.0);
+  EXPECT_LE(r.joint_ratio_mass, r.joint_ratio_count);
+  EXPECT_LE(r.joint_ratio_count, 100.0);
+  EXPECT_NEAR(r.joint_ratio_mass + r.joint_ratio_count, 100.0, 1.5);
+  EXPECT_GE(r.mm_distance, 0.0);
+  EXPECT_GE(r.mass_median, r.count_median - 1e-9);
+  EXPECT_EQ(r.n, 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewSweep, MassCountProperty,
+    ::testing::Values(MassCountCase{10, 0.1}, MassCountCase{11, 0.5},
+                      MassCountCase{12, 1.0}, MassCountCase{13, 1.5},
+                      MassCountCase{14, 2.0}, MassCountCase{15, 2.5},
+                      MassCountCase{16, 3.0}));
+
+/// Larger sigma means more skew: joint-ratio small side shrinks.
+TEST(MassCount, SkewMonotoneInSigma) {
+  util::Rng rng(20);
+  double prev_mass_side = 51.0;
+  for (const double sigma : {0.2, 0.8, 1.6, 2.4}) {
+    const LogNormal dist(10.0, sigma);
+    const std::vector<double> v = sample_many(dist, 20000, rng);
+    const double mass_side = mass_count_disparity(v).joint_ratio_mass;
+    EXPECT_LT(mass_side, prev_mass_side + 1.0)
+        << "sigma=" << sigma;
+    prev_mass_side = mass_side;
+  }
+}
+
+}  // namespace
+}  // namespace cgc::stats

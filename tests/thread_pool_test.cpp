@@ -1,0 +1,111 @@
+// Tests for the thread pool and data-parallel helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cgc::util {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(f.get(), Error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunked, ChunksPartitionTheRange) {
+  constexpr std::size_t kN = 5371;  // deliberately not a round number
+  std::atomic<std::size_t> total{0};
+  parallel_for_chunked(0, kN, [&total](std::size_t lo, std::size_t hi) {
+    ASSERT_LT(lo, hi);
+    total += hi - lo;
+  });
+  EXPECT_EQ(total.load(), kN);
+}
+
+TEST(ParallelForChunked, ComputesSameSumAsSerial) {
+  std::vector<double> values(20000);
+  std::iota(values.begin(), values.end(), 1.0);
+  const double serial = std::accumulate(values.begin(), values.end(), 0.0);
+
+  std::mutex mutex;
+  double parallel_sum = 0.0;
+  parallel_for_chunked(0, values.size(),
+                       [&](std::size_t lo, std::size_t hi) {
+                         double local = 0.0;
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           local += values[i];
+                         }
+                         std::lock_guard lock(mutex);
+                         parallel_sum += local;
+                       });
+  EXPECT_DOUBLE_EQ(parallel_sum, serial);
+}
+
+TEST(ParallelFor, ExceptionFromIterationIsRethrown) {
+  EXPECT_THROW(parallel_for(0, 100,
+                            [](std::size_t i) {
+                              if (i == 42) {
+                                throw Error("iteration failure");
+                              }
+                            }),
+               Error);
+}
+
+TEST(ParallelFor, NestedUseDoesNotDeadlock) {
+  // Analyzers may call parallel helpers from within pooled work; the
+  // chunked helper runs inline when the range is tiny, so nesting of
+  // small inner loops must complete.
+  std::atomic<int> count{0};
+  parallel_for(0, 8, [&count](std::size_t) {
+    parallel_for_chunked(0, 1, [&count](std::size_t, std::size_t) {
+      ++count;
+    });
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+}  // namespace
+}  // namespace cgc::util

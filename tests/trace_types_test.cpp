@@ -1,0 +1,127 @@
+// Tests for the core trace data model: priority bands, the task state
+// machine, and record helpers.
+#include <gtest/gtest.h>
+
+#include "trace/types.hpp"
+
+namespace cgc::trace {
+namespace {
+
+TEST(PriorityBands, PaperClustering) {
+  EXPECT_EQ(band_of(1), PriorityBand::kLow);
+  EXPECT_EQ(band_of(4), PriorityBand::kLow);
+  EXPECT_EQ(band_of(5), PriorityBand::kMid);
+  EXPECT_EQ(band_of(8), PriorityBand::kMid);
+  EXPECT_EQ(band_of(9), PriorityBand::kHigh);
+  EXPECT_EQ(band_of(12), PriorityBand::kHigh);
+}
+
+TEST(PriorityBands, Names) {
+  EXPECT_EQ(band_name(PriorityBand::kLow), "low");
+  EXPECT_EQ(band_name(PriorityBand::kMid), "mid");
+  EXPECT_EQ(band_name(PriorityBand::kHigh), "high");
+}
+
+TEST(Events, TerminalClassification) {
+  EXPECT_TRUE(is_terminal(TaskEventType::kFinish));
+  EXPECT_TRUE(is_terminal(TaskEventType::kFail));
+  EXPECT_TRUE(is_terminal(TaskEventType::kKill));
+  EXPECT_TRUE(is_terminal(TaskEventType::kEvict));
+  EXPECT_TRUE(is_terminal(TaskEventType::kLost));
+  EXPECT_FALSE(is_terminal(TaskEventType::kSubmit));
+  EXPECT_FALSE(is_terminal(TaskEventType::kSchedule));
+  EXPECT_FALSE(is_terminal(TaskEventType::kUpdate));
+}
+
+TEST(Events, AbnormalClassification) {
+  EXPECT_FALSE(is_abnormal(TaskEventType::kFinish));
+  EXPECT_TRUE(is_abnormal(TaskEventType::kFail));
+  EXPECT_TRUE(is_abnormal(TaskEventType::kKill));
+  EXPECT_TRUE(is_abnormal(TaskEventType::kEvict));
+  EXPECT_TRUE(is_abnormal(TaskEventType::kLost));
+  EXPECT_FALSE(is_abnormal(TaskEventType::kSubmit));
+}
+
+TEST(Events, Names) {
+  EXPECT_EQ(event_name(TaskEventType::kSubmit), "SUBMIT");
+  EXPECT_EQ(event_name(TaskEventType::kEvict), "EVICT");
+  EXPECT_EQ(event_name(TaskEventType::kLost), "LOST");
+}
+
+TEST(StateMachine, PaperFigureOneTransitions) {
+  // unsubmitted -> pending -> running -> dead -> pending (resubmit)
+  TaskState s = TaskState::kUnsubmitted;
+  s = apply_event(s, TaskEventType::kSubmit);
+  EXPECT_EQ(s, TaskState::kPending);
+  s = apply_event(s, TaskEventType::kSchedule);
+  EXPECT_EQ(s, TaskState::kRunning);
+  s = apply_event(s, TaskEventType::kFail);
+  EXPECT_EQ(s, TaskState::kDead);
+  s = apply_event(s, TaskEventType::kSubmit);  // resubmission
+  EXPECT_EQ(s, TaskState::kPending);
+}
+
+TEST(StateMachine, UpdateKeepsState) {
+  EXPECT_EQ(apply_event(TaskState::kPending, TaskEventType::kUpdate),
+            TaskState::kPending);
+  EXPECT_EQ(apply_event(TaskState::kRunning, TaskEventType::kUpdate),
+            TaskState::kRunning);
+}
+
+TEST(StateMachine, LostCanStrikePendingTasks) {
+  EXPECT_EQ(apply_event(TaskState::kPending, TaskEventType::kLost),
+            TaskState::kDead);
+}
+
+TEST(StateMachine, IllegalTransitionsThrow) {
+  EXPECT_THROW(apply_event(TaskState::kUnsubmitted, TaskEventType::kSchedule),
+               util::Error);
+  EXPECT_THROW(apply_event(TaskState::kPending, TaskEventType::kFinish),
+               util::Error);
+  EXPECT_THROW(apply_event(TaskState::kDead, TaskEventType::kSchedule),
+               util::Error);
+  EXPECT_THROW(apply_event(TaskState::kRunning, TaskEventType::kSubmit),
+               util::Error);
+  EXPECT_THROW(apply_event(TaskState::kDead, TaskEventType::kKill),
+               util::Error);
+}
+
+TEST(StateMachine, LegalTransitionTable) {
+  EXPECT_TRUE(is_legal_transition(TaskState::kUnsubmitted, TaskState::kPending));
+  EXPECT_TRUE(is_legal_transition(TaskState::kPending, TaskState::kRunning));
+  EXPECT_TRUE(is_legal_transition(TaskState::kPending, TaskState::kDead));
+  EXPECT_TRUE(is_legal_transition(TaskState::kRunning, TaskState::kDead));
+  EXPECT_TRUE(is_legal_transition(TaskState::kDead, TaskState::kPending));
+  EXPECT_FALSE(is_legal_transition(TaskState::kUnsubmitted, TaskState::kRunning));
+  EXPECT_FALSE(is_legal_transition(TaskState::kDead, TaskState::kRunning));
+}
+
+TEST(TaskRecord, RunDuration) {
+  Task t;
+  t.submit_time = 100;
+  t.schedule_time = 150;
+  t.end_time = 450;
+  EXPECT_EQ(t.run_duration(), 300);
+  EXPECT_TRUE(t.completed());
+
+  t.end_time = -1;
+  EXPECT_EQ(t.run_duration(), 0);
+  EXPECT_FALSE(t.completed());
+
+  t.schedule_time = -1;
+  t.end_time = 200;
+  EXPECT_EQ(t.run_duration(), 0);  // never ran
+}
+
+TEST(JobRecord, LengthDefinition) {
+  Job j;
+  j.submit_time = 1000;
+  j.end_time = 4600;
+  EXPECT_EQ(j.length(), 3600);
+  j.end_time = -1;
+  EXPECT_EQ(j.length(), -1);
+  EXPECT_FALSE(j.completed());
+}
+
+}  // namespace
+}  // namespace cgc::trace
