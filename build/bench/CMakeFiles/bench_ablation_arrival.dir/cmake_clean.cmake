@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_arrival.dir/bench_ablation_arrival.cpp.o"
+  "CMakeFiles/bench_ablation_arrival.dir/bench_ablation_arrival.cpp.o.d"
+  "bench_ablation_arrival"
+  "bench_ablation_arrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

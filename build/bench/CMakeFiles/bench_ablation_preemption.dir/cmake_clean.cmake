@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preemption.dir/bench_ablation_preemption.cpp.o"
+  "CMakeFiles/bench_ablation_preemption.dir/bench_ablation_preemption.cpp.o.d"
+  "bench_ablation_preemption"
+  "bench_ablation_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

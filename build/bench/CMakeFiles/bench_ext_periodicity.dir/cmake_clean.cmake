@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_periodicity.dir/bench_ext_periodicity.cpp.o"
+  "CMakeFiles/bench_ext_periodicity.dir/bench_ext_periodicity.cpp.o.d"
+  "bench_ext_periodicity"
+  "bench_ext_periodicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_periodicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

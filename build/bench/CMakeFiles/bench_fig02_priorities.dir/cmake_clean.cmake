@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_priorities.dir/bench_fig02_priorities.cpp.o"
+  "CMakeFiles/bench_fig02_priorities.dir/bench_fig02_priorities.cpp.o.d"
+  "bench_fig02_priorities"
+  "bench_fig02_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

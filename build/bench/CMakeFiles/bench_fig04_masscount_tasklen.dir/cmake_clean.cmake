@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_masscount_tasklen.dir/bench_fig04_masscount_tasklen.cpp.o"
+  "CMakeFiles/bench_fig04_masscount_tasklen.dir/bench_fig04_masscount_tasklen.cpp.o.d"
+  "bench_fig04_masscount_tasklen"
+  "bench_fig04_masscount_tasklen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_masscount_tasklen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

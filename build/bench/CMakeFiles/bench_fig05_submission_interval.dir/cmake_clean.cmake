@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_submission_interval.dir/bench_fig05_submission_interval.cpp.o"
+  "CMakeFiles/bench_fig05_submission_interval.dir/bench_fig05_submission_interval.cpp.o.d"
+  "bench_fig05_submission_interval"
+  "bench_fig05_submission_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_submission_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_queue_state.dir/bench_fig08_queue_state.cpp.o"
+  "CMakeFiles/bench_fig08_queue_state.dir/bench_fig08_queue_state.cpp.o.d"
+  "bench_fig08_queue_state"
+  "bench_fig08_queue_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_queue_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_queue_state.
+# This may be replaced when dependencies are built.

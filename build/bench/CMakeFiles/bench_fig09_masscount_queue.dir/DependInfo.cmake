@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig09_masscount_queue.cpp" "bench/CMakeFiles/bench_fig09_masscount_queue.dir/bench_fig09_masscount_queue.cpp.o" "gcc" "bench/CMakeFiles/bench_fig09_masscount_queue.dir/bench_fig09_masscount_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/cgc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cgc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cgc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/cgc_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cgc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cgc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mem_usage_masscount.dir/bench_fig12_mem_usage_masscount.cpp.o"
+  "CMakeFiles/bench_fig12_mem_usage_masscount.dir/bench_fig12_mem_usage_masscount.cpp.o.d"
+  "bench_fig12_mem_usage_masscount"
+  "bench_fig12_mem_usage_masscount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mem_usage_masscount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_jobs_per_hour.dir/bench_tab01_jobs_per_hour.cpp.o"
+  "CMakeFiles/bench_tab01_jobs_per_hour.dir/bench_tab01_jobs_per_hour.cpp.o.d"
+  "bench_tab01_jobs_per_hour"
+  "bench_tab01_jobs_per_hour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_jobs_per_hour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab01_jobs_per_hour.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab02_cpu_level_durations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_mem_level_durations.dir/bench_tab03_mem_level_durations.cpp.o"
+  "CMakeFiles/bench_tab03_mem_level_durations.dir/bench_tab03_mem_level_durations.cpp.o.d"
+  "bench_tab03_mem_level_durations"
+  "bench_tab03_mem_level_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_mem_level_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

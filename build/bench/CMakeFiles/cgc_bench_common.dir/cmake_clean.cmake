@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_bench_common.dir/common.cpp.o"
+  "CMakeFiles/cgc_bench_common.dir/common.cpp.o.d"
+  "libcgc_bench_common.a"
+  "libcgc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

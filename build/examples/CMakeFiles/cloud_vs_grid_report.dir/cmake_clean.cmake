@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_vs_grid_report.dir/cloud_vs_grid_report.cpp.o"
+  "CMakeFiles/cloud_vs_grid_report.dir/cloud_vs_grid_report.cpp.o.d"
+  "cloud_vs_grid_report"
+  "cloud_vs_grid_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_vs_grid_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cloud_vs_grid_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_predictor.dir/load_predictor.cpp.o"
+  "CMakeFiles/load_predictor.dir/load_predictor.cpp.o.d"
+  "load_predictor"
+  "load_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

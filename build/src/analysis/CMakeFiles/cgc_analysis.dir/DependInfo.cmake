@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/hostload_analyzers.cpp" "src/analysis/CMakeFiles/cgc_analysis.dir/hostload_analyzers.cpp.o" "gcc" "src/analysis/CMakeFiles/cgc_analysis.dir/hostload_analyzers.cpp.o.d"
+  "/root/repo/src/analysis/load_modes.cpp" "src/analysis/CMakeFiles/cgc_analysis.dir/load_modes.cpp.o" "gcc" "src/analysis/CMakeFiles/cgc_analysis.dir/load_modes.cpp.o.d"
+  "/root/repo/src/analysis/periodicity_analyzer.cpp" "src/analysis/CMakeFiles/cgc_analysis.dir/periodicity_analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/cgc_analysis.dir/periodicity_analyzer.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/cgc_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/cgc_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/workload_analyzers.cpp" "src/analysis/CMakeFiles/cgc_analysis.dir/workload_analyzers.cpp.o" "gcc" "src/analysis/CMakeFiles/cgc_analysis.dir/workload_analyzers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/cgc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cgc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_analysis.dir/hostload_analyzers.cpp.o"
+  "CMakeFiles/cgc_analysis.dir/hostload_analyzers.cpp.o.d"
+  "CMakeFiles/cgc_analysis.dir/load_modes.cpp.o"
+  "CMakeFiles/cgc_analysis.dir/load_modes.cpp.o.d"
+  "CMakeFiles/cgc_analysis.dir/periodicity_analyzer.cpp.o"
+  "CMakeFiles/cgc_analysis.dir/periodicity_analyzer.cpp.o.d"
+  "CMakeFiles/cgc_analysis.dir/report.cpp.o"
+  "CMakeFiles/cgc_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/cgc_analysis.dir/workload_analyzers.cpp.o"
+  "CMakeFiles/cgc_analysis.dir/workload_analyzers.cpp.o.d"
+  "libcgc_analysis.a"
+  "libcgc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

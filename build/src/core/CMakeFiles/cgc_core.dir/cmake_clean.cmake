@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_core.dir/characterization.cpp.o"
+  "CMakeFiles/cgc_core.dir/characterization.cpp.o.d"
+  "libcgc_core.a"
+  "libcgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/arrival.cpp" "src/gen/CMakeFiles/cgc_gen.dir/arrival.cpp.o" "gcc" "src/gen/CMakeFiles/cgc_gen.dir/arrival.cpp.o.d"
+  "/root/repo/src/gen/google_model.cpp" "src/gen/CMakeFiles/cgc_gen.dir/google_model.cpp.o" "gcc" "src/gen/CMakeFiles/cgc_gen.dir/google_model.cpp.o.d"
+  "/root/repo/src/gen/grid_model.cpp" "src/gen/CMakeFiles/cgc_gen.dir/grid_model.cpp.o" "gcc" "src/gen/CMakeFiles/cgc_gen.dir/grid_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cgc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cgc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cgc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

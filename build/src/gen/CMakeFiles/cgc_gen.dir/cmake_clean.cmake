@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_gen.dir/arrival.cpp.o"
+  "CMakeFiles/cgc_gen.dir/arrival.cpp.o.d"
+  "CMakeFiles/cgc_gen.dir/google_model.cpp.o"
+  "CMakeFiles/cgc_gen.dir/google_model.cpp.o.d"
+  "CMakeFiles/cgc_gen.dir/grid_model.cpp.o"
+  "CMakeFiles/cgc_gen.dir/grid_model.cpp.o.d"
+  "libcgc_gen.a"
+  "libcgc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/evaluation.cpp" "src/predict/CMakeFiles/cgc_predict.dir/evaluation.cpp.o" "gcc" "src/predict/CMakeFiles/cgc_predict.dir/evaluation.cpp.o.d"
+  "/root/repo/src/predict/predictors.cpp" "src/predict/CMakeFiles/cgc_predict.dir/predictors.cpp.o" "gcc" "src/predict/CMakeFiles/cgc_predict.dir/predictors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cgc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cgc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cgc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_predict.dir/evaluation.cpp.o"
+  "CMakeFiles/cgc_predict.dir/evaluation.cpp.o.d"
+  "CMakeFiles/cgc_predict.dir/predictors.cpp.o"
+  "CMakeFiles/cgc_predict.dir/predictors.cpp.o.d"
+  "libcgc_predict.a"
+  "libcgc_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/cgc_sim.dir/cluster_sim.cpp.o.d"
+  "libcgc_sim.a"
+  "libcgc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/cgc_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/cgc_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/cgc_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/cgc_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/cgc_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/cgc_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/fairness.cpp" "src/stats/CMakeFiles/cgc_stats.dir/fairness.cpp.o" "gcc" "src/stats/CMakeFiles/cgc_stats.dir/fairness.cpp.o.d"
+  "/root/repo/src/stats/fit.cpp" "src/stats/CMakeFiles/cgc_stats.dir/fit.cpp.o" "gcc" "src/stats/CMakeFiles/cgc_stats.dir/fit.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/cgc_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/cgc_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/mass_count.cpp" "src/stats/CMakeFiles/cgc_stats.dir/mass_count.cpp.o" "gcc" "src/stats/CMakeFiles/cgc_stats.dir/mass_count.cpp.o.d"
+  "/root/repo/src/stats/periodicity.cpp" "src/stats/CMakeFiles/cgc_stats.dir/periodicity.cpp.o" "gcc" "src/stats/CMakeFiles/cgc_stats.dir/periodicity.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/cgc_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/cgc_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

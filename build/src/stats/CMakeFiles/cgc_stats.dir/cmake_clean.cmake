@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/cgc_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/cgc_stats.dir/distributions.cpp.o"
+  "CMakeFiles/cgc_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/cgc_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/cgc_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/cgc_stats.dir/fairness.cpp.o"
+  "CMakeFiles/cgc_stats.dir/fairness.cpp.o.d"
+  "CMakeFiles/cgc_stats.dir/fit.cpp.o"
+  "CMakeFiles/cgc_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/cgc_stats.dir/histogram.cpp.o"
+  "CMakeFiles/cgc_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/cgc_stats.dir/mass_count.cpp.o"
+  "CMakeFiles/cgc_stats.dir/mass_count.cpp.o.d"
+  "CMakeFiles/cgc_stats.dir/periodicity.cpp.o"
+  "CMakeFiles/cgc_stats.dir/periodicity.cpp.o.d"
+  "CMakeFiles/cgc_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/cgc_stats.dir/timeseries.cpp.o.d"
+  "libcgc_stats.a"
+  "libcgc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

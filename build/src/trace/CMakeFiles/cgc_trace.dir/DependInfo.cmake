@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/google_format.cpp" "src/trace/CMakeFiles/cgc_trace.dir/google_format.cpp.o" "gcc" "src/trace/CMakeFiles/cgc_trace.dir/google_format.cpp.o.d"
+  "/root/repo/src/trace/gwa_format.cpp" "src/trace/CMakeFiles/cgc_trace.dir/gwa_format.cpp.o" "gcc" "src/trace/CMakeFiles/cgc_trace.dir/gwa_format.cpp.o.d"
+  "/root/repo/src/trace/host_load.cpp" "src/trace/CMakeFiles/cgc_trace.dir/host_load.cpp.o" "gcc" "src/trace/CMakeFiles/cgc_trace.dir/host_load.cpp.o.d"
+  "/root/repo/src/trace/swf_format.cpp" "src/trace/CMakeFiles/cgc_trace.dir/swf_format.cpp.o" "gcc" "src/trace/CMakeFiles/cgc_trace.dir/swf_format.cpp.o.d"
+  "/root/repo/src/trace/trace_set.cpp" "src/trace/CMakeFiles/cgc_trace.dir/trace_set.cpp.o" "gcc" "src/trace/CMakeFiles/cgc_trace.dir/trace_set.cpp.o.d"
+  "/root/repo/src/trace/types.cpp" "src/trace/CMakeFiles/cgc_trace.dir/types.cpp.o" "gcc" "src/trace/CMakeFiles/cgc_trace.dir/types.cpp.o.d"
+  "/root/repo/src/trace/validate.cpp" "src/trace/CMakeFiles/cgc_trace.dir/validate.cpp.o" "gcc" "src/trace/CMakeFiles/cgc_trace.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_trace.dir/google_format.cpp.o"
+  "CMakeFiles/cgc_trace.dir/google_format.cpp.o.d"
+  "CMakeFiles/cgc_trace.dir/gwa_format.cpp.o"
+  "CMakeFiles/cgc_trace.dir/gwa_format.cpp.o.d"
+  "CMakeFiles/cgc_trace.dir/host_load.cpp.o"
+  "CMakeFiles/cgc_trace.dir/host_load.cpp.o.d"
+  "CMakeFiles/cgc_trace.dir/swf_format.cpp.o"
+  "CMakeFiles/cgc_trace.dir/swf_format.cpp.o.d"
+  "CMakeFiles/cgc_trace.dir/trace_set.cpp.o"
+  "CMakeFiles/cgc_trace.dir/trace_set.cpp.o.d"
+  "CMakeFiles/cgc_trace.dir/types.cpp.o"
+  "CMakeFiles/cgc_trace.dir/types.cpp.o.d"
+  "CMakeFiles/cgc_trace.dir/validate.cpp.o"
+  "CMakeFiles/cgc_trace.dir/validate.cpp.o.d"
+  "libcgc_trace.a"
+  "libcgc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_util.dir/check.cpp.o"
+  "CMakeFiles/cgc_util.dir/check.cpp.o.d"
+  "CMakeFiles/cgc_util.dir/csv.cpp.o"
+  "CMakeFiles/cgc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cgc_util.dir/log.cpp.o"
+  "CMakeFiles/cgc_util.dir/log.cpp.o.d"
+  "CMakeFiles/cgc_util.dir/table.cpp.o"
+  "CMakeFiles/cgc_util.dir/table.cpp.o.d"
+  "CMakeFiles/cgc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/cgc_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/cgc_util.dir/time_util.cpp.o"
+  "CMakeFiles/cgc_util.dir/time_util.cpp.o.d"
+  "libcgc_util.a"
+  "libcgc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/google_model_test.dir/google_model_test.cpp.o"
+  "CMakeFiles/google_model_test.dir/google_model_test.cpp.o.d"
+  "google_model_test"
+  "google_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/google_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_model_test.dir/grid_model_test.cpp.o"
+  "CMakeFiles/grid_model_test.dir/grid_model_test.cpp.o.d"
+  "grid_model_test"
+  "grid_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

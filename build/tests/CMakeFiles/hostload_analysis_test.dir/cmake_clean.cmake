@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostload_analysis_test.dir/hostload_analysis_test.cpp.o"
+  "CMakeFiles/hostload_analysis_test.dir/hostload_analysis_test.cpp.o.d"
+  "hostload_analysis_test"
+  "hostload_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostload_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

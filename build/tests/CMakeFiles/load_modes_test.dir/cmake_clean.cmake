@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_modes_test.dir/load_modes_test.cpp.o"
+  "CMakeFiles/load_modes_test.dir/load_modes_test.cpp.o.d"
+  "load_modes_test"
+  "load_modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_count_test.dir/mass_count_test.cpp.o"
+  "CMakeFiles/mass_count_test.dir/mass_count_test.cpp.o.d"
+  "mass_count_test"
+  "mass_count_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodicity_test.dir/periodicity_test.cpp.o"
+  "CMakeFiles/periodicity_test.dir/periodicity_test.cpp.o.d"
+  "periodicity_test"
+  "periodicity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_types_test.dir/trace_types_test.cpp.o"
+  "CMakeFiles/trace_types_test.dir/trace_types_test.cpp.o.d"
+  "trace_types_test"
+  "trace_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
