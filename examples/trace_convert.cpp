@@ -10,7 +10,12 @@
 //   trace_convert google-to-swf <google_dir> <out.swf>
 //   trace_convert gwa-to-swf <in.gwf> <out.swf>
 //   trace_convert swf-to-gwa <in.swf> <out.gwf>
-//   trace_convert info <google_dir | file.swf | file.gwf>
+//   trace_convert to-cgcs <google_dir | in.swf | in.gwf> <out.cgcs>
+//   trace_convert from-cgcs <in.cgcs> <google_dir | out.swf | out.gwf>
+//   trace_convert info <google_dir | file.swf | file.gwf | file.cgcs>
+//
+// The CGCS commands convert any readable trace into the columnar binary
+// store (parse once, mmap forever) and back out to the text formats.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +24,8 @@
 #include "gen/google_model.hpp"
 #include "gen/grid_model.hpp"
 #include "sim/cluster_sim.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
 #include "trace/google_format.hpp"
 #include "trace/gwa_format.hpp"
 #include "trace/swf_format.hpp"
@@ -63,7 +70,24 @@ trace::TraceSet load_any(const std::string& path) {
   if (ends_with(path, ".gwf")) {
     return trace::read_gwa(path, "gwa-trace");
   }
+  if (ends_with(path, ".cgcs")) {
+    return store::read_cgcs(path);
+  }
   return trace::read_google_trace(path);
+}
+
+/// Writes `trace` in the format implied by the output path: .swf, .gwf,
+/// .cgcs, or a clusterdata CSV directory.
+void write_any(const trace::TraceSet& trace, const std::string& path) {
+  if (ends_with(path, ".swf")) {
+    trace::write_swf(trace, path);
+  } else if (ends_with(path, ".gwf")) {
+    trace::write_gwa(trace, path);
+  } else if (ends_with(path, ".cgcs")) {
+    store::write_cgcs(trace, path);
+  } else {
+    trace::write_google_trace(trace, path);
+  }
 }
 
 int usage() {
@@ -74,7 +98,12 @@ int usage() {
                "  trace_convert google-to-swf <google_dir> <out.swf>\n"
                "  trace_convert gwa-to-swf <in.gwf> <out.swf>\n"
                "  trace_convert swf-to-gwa <in.swf> <out.gwf>\n"
-               "  trace_convert info <google_dir | file.swf | file.gwf>\n"
+               "  trace_convert to-cgcs <google_dir|in.swf|in.gwf> "
+               "<out.cgcs>\n"
+               "  trace_convert from-cgcs <in.cgcs> "
+               "<google_dir|out.swf|out.gwf>\n"
+               "  trace_convert info <google_dir | file.swf | file.gwf | "
+               "file.cgcs>\n"
                "grid systems: AuverGrid NorduGrid SHARCNET ANL RICC "
                "METACENTRUM LLNL-Atlas DAS-2\n");
   return 2;
@@ -143,8 +172,35 @@ int main(int argc, char** argv) {
       const trace::TraceSet trace = trace::read_swf(argv[2], "swf-trace");
       trace::write_gwa(trace, argv[3]);
       std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
+    } else if (command == "to-cgcs" || command == "--to-cgcs") {
+      if (argc < 4) {
+        return usage();
+      }
+      const trace::TraceSet trace = load_any(argv[2]);
+      store::write_cgcs(trace, argv[3]);
+      const trace::TraceSummary s = trace.summary();
+      std::printf("wrote %zu jobs / %zu events / %zu samples to %s\n",
+                  s.num_jobs, s.num_events, s.num_samples, argv[3]);
+    } else if (command == "from-cgcs" || command == "--from-cgcs") {
+      if (argc < 4) {
+        return usage();
+      }
+      const trace::TraceSet trace = store::read_cgcs(argv[2]);
+      write_any(trace, argv[3]);
+      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
     } else if (command == "info") {
-      print_summary(load_any(argv[2]));
+      const std::string target = argv[2];
+      if (ends_with(target, ".cgcs")) {
+        const store::StoreReader reader(target);
+        const store::StoreInfo& si = reader.info();
+        std::printf("CGCS store: %s (%.2f MB, %zu chunks)\n",
+                    target.c_str(),
+                    static_cast<double>(si.file_size) / (1024.0 * 1024.0),
+                    si.num_chunks);
+        print_summary(reader.load_trace_set());
+      } else {
+        print_summary(load_any(target));
+      }
     } else {
       return usage();
     }

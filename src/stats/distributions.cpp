@@ -62,7 +62,6 @@ double BoundedPareto::sample(util::Rng& rng) const {
 
 double BoundedPareto::mean() const {
   const double la = std::pow(lo_, alpha_);
-  const double ha = std::pow(hi_, alpha_);
   if (std::abs(alpha_ - 1.0) < 1e-12) {
     return (std::log(hi_) - std::log(lo_)) * lo_ * hi_ / (hi_ - lo_);
   }

@@ -1,0 +1,21 @@
+#include "store/cgcs_format.hpp"
+
+namespace cgc::store {
+
+std::string_view section_name(SectionId s) {
+  switch (s) {
+    case SectionId::kJobs:
+      return "jobs";
+    case SectionId::kTasks:
+      return "tasks";
+    case SectionId::kEvents:
+      return "events";
+    case SectionId::kMachines:
+      return "machines";
+    case SectionId::kHostLoad:
+      return "host_load";
+  }
+  return "?";
+}
+
+}  // namespace cgc::store

@@ -1,0 +1,182 @@
+#include "store/encoding.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace cgc::store {
+
+void put_varint(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+void encode_i64_column(std::span<const std::int64_t> values, bool delta,
+                       std::vector<std::uint8_t>* out) {
+  std::int64_t prev = 0;
+  for (const std::int64_t v : values) {
+    const std::int64_t stored = delta ? v - prev : v;
+    put_varint(zigzag_encode(stored), out);
+    prev = v;
+  }
+}
+
+void decode_i64_column(std::span<const std::uint8_t> bytes, std::size_t count,
+                       bool delta, std::vector<std::int64_t>* out) {
+  out->resize(count);
+  const std::uint8_t* p = bytes.data();
+  const std::uint8_t* const end = p + bytes.size();
+  std::int64_t* dst = out->data();
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t value;
+    if (p < end && *p < 0x80) {
+      // Fast path: delta-encoded timestamps and small ids are almost
+      // always single-byte varints.
+      value = *p++;
+    } else {
+      value = 0;
+      int shift = 0;
+      while (true) {
+        CGC_CHECK_MSG(p < end, "truncated varint in column payload");
+        CGC_CHECK_MSG(shift < 64, "overlong varint in column payload");
+        const std::uint8_t byte = *p++;
+        value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) {
+          break;
+        }
+        shift += 7;
+      }
+    }
+    std::int64_t v = zigzag_decode(value);
+    if (delta) {
+      v += prev;
+    }
+    dst[i] = v;
+    prev = v;
+  }
+  CGC_CHECK_MSG(p == end,
+                "column payload has trailing bytes after last row");
+}
+
+namespace {
+
+/// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table,
+/// table[k] advances a byte through k further zero bytes. Processing 8
+/// input bytes per iteration is ~5x faster than the byte loop, which
+/// matters because every chunk is CRC-checked on first access.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xFF] ^ (prev >> 8);
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const auto tables = make_crc_tables();
+  const auto& t = tables;
+  std::uint32_t c = 0xFFFFFFFFu;
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);  // little-endian host (asserted in writer.cpp)
+    w ^= c;
+    c = t[7][w & 0xFF] ^ t[6][(w >> 8) & 0xFF] ^ t[5][(w >> 16) & 0xFF] ^
+        t[4][(w >> 24) & 0xFF] ^ t[3][(w >> 32) & 0xFF] ^
+        t[2][(w >> 40) & 0xFF] ^ t[1][(w >> 48) & 0xFF] ^ t[0][w >> 56];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; --n) {
+    c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void BufferWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BufferWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BufferWriter::put_f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+void BufferWriter::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void BufferReader::require(std::size_t n) const {
+  CGC_CHECK_MSG(pos_ + n <= bytes_.size(),
+                "footer truncated: read past end of directory");
+}
+
+std::uint8_t BufferReader::get_u8() {
+  require(1);
+  return bytes_[pos_++];
+}
+
+std::uint32_t BufferReader::get_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BufferReader::get_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double BufferReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BufferReader::get_string() {
+  const std::uint32_t len = get_u32();
+  require(len);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+}  // namespace cgc::store

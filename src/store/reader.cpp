@@ -1,0 +1,683 @@
+#include "store/reader.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <map>
+
+#include "store/encoding.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cgc::store {
+
+static_assert(std::endian::native == std::endian::little,
+              "CGCS raw columns assume a little-endian host");
+
+namespace {
+
+using trace::HostLoadSeries;
+using trace::kNumBands;
+using trace::PriorityBand;
+
+std::string bad_file(const std::string& path, const std::string& why) {
+  return "not a valid CGCS file (" + why + "): " + path;
+}
+
+}  // namespace
+
+// Column chunks of one events row group, in decode order.
+struct StoreReader::EventRowGroup {
+  const ChunkMeta* time = nullptr;
+  const ChunkMeta* job_id = nullptr;
+  const ChunkMeta* task_index = nullptr;
+  const ChunkMeta* machine_id = nullptr;
+  const ChunkMeta* type = nullptr;
+  const ChunkMeta* priority = nullptr;
+  std::uint64_t row_begin = 0;
+  std::uint64_t row_count = 0;
+};
+
+StoreReader::StoreReader(const std::string& path) : file_(path) {
+  parse_footer();
+  validate_chunks();
+  std::vector<std::atomic<bool>> flags(chunks_.size());
+  crc_checked_ = std::move(flags);
+}
+
+StoreReader::~StoreReader() = default;
+
+void StoreReader::parse_footer() {
+  const auto data = file_.data();
+  const std::string& path = file_.path();
+  CGC_CHECK_MSG(data.size() >= kHeaderSize + kTrailerSize,
+                bad_file(path, "file shorter than header + trailer"));
+  CGC_CHECK_MSG(std::memcmp(data.data(), kMagic.data(), 4) == 0,
+                bad_file(path, "bad magic"));
+  BufferReader header(data.subspan(4, kHeaderSize - 4));
+  const std::uint32_t version = header.get_u32();
+  CGC_CHECK_MSG(version == kFormatVersion,
+                bad_file(path, "unsupported format version " +
+                                   std::to_string(version)));
+  CGC_CHECK_MSG(
+      std::memcmp(data.data() + data.size() - 4, kEndMagic.data(), 4) == 0,
+      bad_file(path, "bad end magic (truncated file?)"));
+
+  BufferReader trailer(
+      data.subspan(data.size() - kTrailerSize, kTrailerSize - 4));
+  const std::uint64_t footer_offset = trailer.get_u64();
+  const std::uint32_t footer_crc = trailer.get_u32();
+  CGC_CHECK_MSG(footer_offset >= kHeaderSize &&
+                    footer_offset <= data.size() - kTrailerSize,
+                bad_file(path, "footer offset out of bounds"));
+  const auto footer_bytes = data.subspan(
+      footer_offset, data.size() - kTrailerSize - footer_offset);
+  CGC_CHECK_MSG(crc32(footer_bytes) == footer_crc,
+                bad_file(path, "footer CRC mismatch"));
+
+  BufferReader footer(footer_bytes);
+  const std::uint32_t footer_version = footer.get_u32();
+  CGC_CHECK_MSG(footer_version == kFormatVersion,
+                bad_file(path, "footer/header version disagreement"));
+  info_.system_name = footer.get_string();
+  info_.duration = footer.get_i64();
+  info_.memory_in_mb = footer.get_u8() != 0;
+  info_.num_jobs = footer.get_u64();
+  info_.num_tasks = footer.get_u64();
+  info_.num_events = footer.get_u64();
+  info_.num_machines = footer.get_u64();
+  info_.num_hostload_samples = footer.get_u64();
+  info_.file_size = data.size();
+
+  const std::uint64_t num_series = footer.get_u64();
+  info_.num_hostload_series = num_series;
+  series_.reserve(num_series);
+  std::uint64_t sample_total = 0;
+  for (std::uint64_t i = 0; i < num_series; ++i) {
+    SeriesMeta s;
+    s.machine_id = footer.get_i64();
+    s.start = footer.get_i64();
+    s.period = footer.get_i64();
+    s.samples = footer.get_u64();
+    CGC_CHECK_MSG(s.period > 0, bad_file(path, "non-positive series period"));
+    sample_total += s.samples;
+    series_.push_back(s);
+  }
+  CGC_CHECK_MSG(sample_total == info_.num_hostload_samples,
+                bad_file(path, "series directory disagrees with sample count"));
+
+  const std::uint32_t num_chunks = footer.get_u32();
+  chunks_.reserve(num_chunks);
+  for (std::uint32_t i = 0; i < num_chunks; ++i) {
+    ChunkMeta c;
+    const std::uint8_t section = footer.get_u8();
+    CGC_CHECK_MSG(section < kNumSections,
+                  bad_file(path, "chunk section id out of range"));
+    c.section = static_cast<SectionId>(section);
+    c.column = static_cast<ColumnId>(footer.get_u8());
+    const std::uint8_t encoding = footer.get_u8();
+    CGC_CHECK_MSG(encoding <= static_cast<std::uint8_t>(Encoding::kDeltaVarint),
+                  bad_file(path, "chunk encoding out of range"));
+    c.encoding = static_cast<Encoding>(encoding);
+    c.offset = footer.get_u64();
+    c.payload_size = footer.get_u64();
+    c.row_begin = footer.get_u64();
+    c.row_count = footer.get_u64();
+    c.int_min = footer.get_i64();
+    c.int_max = footer.get_i64();
+    c.real_min = footer.get_f64();
+    c.real_max = footer.get_f64();
+    c.crc = footer.get_u32();
+    chunks_.push_back(c);
+  }
+  CGC_CHECK_MSG(footer.exhausted(),
+                bad_file(path, "footer has trailing bytes"));
+  info_.num_chunks = chunks_.size();
+
+  // Payloads must live in [header, footer).
+  for (const ChunkMeta& c : chunks_) {
+    CGC_CHECK_MSG(c.offset >= kHeaderSize &&
+                      c.offset + c.payload_size <= footer_offset,
+                  bad_file(path, "chunk payload out of bounds"));
+  }
+}
+
+void StoreReader::validate_chunks() const {
+  const std::string& path = file_.path();
+  for (const ChunkMeta& c : chunks_) {
+    std::uint64_t section_rows = 0;
+    switch (c.section) {
+      case SectionId::kJobs:
+        section_rows = info_.num_jobs;
+        break;
+      case SectionId::kTasks:
+        section_rows = info_.num_tasks;
+        break;
+      case SectionId::kEvents:
+        section_rows = info_.num_events;
+        break;
+      case SectionId::kMachines:
+        section_rows = info_.num_machines;
+        break;
+      case SectionId::kHostLoad:
+        section_rows = info_.num_hostload_samples;
+        break;
+    }
+    CGC_CHECK_MSG(c.row_begin + c.row_count <= section_rows,
+                  bad_file(path, "chunk rows exceed section size"));
+    if (c.encoding == Encoding::kRawF32) {
+      CGC_CHECK_MSG(c.payload_size == c.row_count * sizeof(float),
+                    bad_file(path, "raw f32 chunk payload size mismatch"));
+      CGC_CHECK_MSG(c.offset % alignof(float) == 0,
+                    bad_file(path, "raw f32 chunk misaligned"));
+    } else if (c.encoding == Encoding::kRawU8) {
+      CGC_CHECK_MSG(c.payload_size == c.row_count,
+                    bad_file(path, "raw u8 chunk payload size mismatch"));
+    }
+  }
+}
+
+std::span<const std::uint8_t> StoreReader::payload(
+    const ChunkMeta& chunk) const {
+  const auto span = file_.data().subspan(chunk.offset, chunk.payload_size);
+  // Verify the CRC once per chunk; copies of ChunkMeta passed from
+  // outside the directory are verified every time.
+  const ChunkMeta* base = chunks_.data();
+  const bool in_directory = &chunk >= base && &chunk < base + chunks_.size();
+  const std::size_t idx = in_directory ? &chunk - base : 0;
+  if (!in_directory || !crc_checked_[idx].load(std::memory_order_relaxed)) {
+    CGC_CHECK_MSG(crc32(span) == chunk.crc,
+                  bad_file(file_.path(),
+                           "chunk CRC mismatch in section " +
+                               std::string(section_name(chunk.section))));
+    if (in_directory) {
+      crc_checked_[idx].store(true, std::memory_order_relaxed);
+    }
+  }
+  return span;
+}
+
+std::vector<const ChunkMeta*> StoreReader::column_chunks(
+    SectionId section, ColumnId column) const {
+  std::vector<const ChunkMeta*> out;
+  for (const ChunkMeta& c : chunks_) {
+    if (c.section == section && c.column == column) {
+      out.push_back(&c);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ChunkMeta* a, const ChunkMeta* b) {
+              return a->row_begin < b->row_begin;
+            });
+  return out;
+}
+
+std::span<const float> StoreReader::f32_span(const ChunkMeta& chunk) const {
+  CGC_CHECK_MSG(chunk.encoding == Encoding::kRawF32,
+                "f32_span() on a non-raw-f32 chunk");
+  const auto bytes = payload(chunk);
+  return {reinterpret_cast<const float*>(bytes.data()), chunk.row_count};
+}
+
+std::span<const std::uint8_t> StoreReader::u8_span(
+    const ChunkMeta& chunk) const {
+  CGC_CHECK_MSG(chunk.encoding == Encoding::kRawU8,
+                "u8_span() on a non-raw-u8 chunk");
+  return payload(chunk);
+}
+
+void StoreReader::decode_i64(const ChunkMeta& chunk,
+                             std::vector<std::int64_t>* out) const {
+  CGC_CHECK_MSG(chunk.encoding == Encoding::kVarint ||
+                    chunk.encoding == Encoding::kDeltaVarint,
+                "decode_i64() on a non-integer chunk");
+  decode_i64_column(payload(chunk), chunk.row_count,
+                    chunk.encoding == Encoding::kDeltaVarint, out);
+}
+
+namespace {
+
+/// Flattened host-load columns for reconstruction.
+struct HostLoadFlat {
+  std::vector<float> cpu[kNumBands];
+  std::vector<float> mem[kNumBands];
+  std::vector<float> mem_assigned;
+  std::vector<float> page_cache;
+  std::vector<std::int32_t> running;
+  std::vector<std::int32_t> pending;
+};
+
+}  // namespace
+
+trace::TraceSet StoreReader::load_trace_set() const {
+  std::vector<trace::Job> jobs(info_.num_jobs);
+  std::vector<trace::Task> tasks(info_.num_tasks);
+  std::vector<trace::TaskEvent> events(info_.num_events);
+  std::vector<trace::Machine> machines(info_.num_machines);
+  HostLoadFlat hl;
+  for (std::size_t b = 0; b < kNumBands; ++b) {
+    hl.cpu[b].resize(info_.num_hostload_samples);
+    hl.mem[b].resize(info_.num_hostload_samples);
+  }
+  hl.mem_assigned.resize(info_.num_hostload_samples);
+  hl.page_cache.resize(info_.num_hostload_samples);
+  hl.running.resize(info_.num_hostload_samples);
+  hl.pending.resize(info_.num_hostload_samples);
+
+  // Tasks and events dominate the row count, so their chunks are
+  // regrouped by row range and every destination struct is filled in a
+  // single pass: one sweep of the section array per row group instead
+  // of one per column. Groups cover disjoint row ranges, so the
+  // fan-out stays race free.
+  struct RowGroupChunks {
+    std::uint64_t row_begin = 0;
+    std::uint64_t row_count = 0;
+    const ChunkMeta* cols[kNumColumnIds] = {};
+  };
+  auto group_rows = [&](SectionId section) {
+    std::map<std::uint64_t, RowGroupChunks> by_row;
+    for (const ChunkMeta& c : chunks_) {
+      if (c.section != section) {
+        continue;
+      }
+      RowGroupChunks& g = by_row[c.row_begin];
+      g.row_begin = c.row_begin;
+      g.row_count = c.row_count;
+      g.cols[static_cast<std::size_t>(c.column)] = &c;
+    }
+    std::vector<RowGroupChunks> out;
+    out.reserve(by_row.size());
+    for (auto& [row, group] : by_row) {
+      out.push_back(group);
+    }
+    return out;
+  };
+  auto need = [&](const RowGroupChunks& g, ColumnId col) -> const ChunkMeta& {
+    const ChunkMeta* c = g.cols[static_cast<std::size_t>(col)];
+    CGC_CHECK_MSG(c != nullptr && c->row_count == g.row_count,
+                  bad_file(file_.path(), "row group missing a column"));
+    return *c;
+  };
+
+  const std::vector<RowGroupChunks> task_groups = group_rows(SectionId::kTasks);
+  util::parallel_for(0, task_groups.size(), [&](std::size_t gi) {
+    const RowGroupChunks& g = task_groups[gi];
+    std::vector<std::int64_t> jid, tidx, submit, sched, end_t, mid, resub;
+    decode_i64(need(g, ColumnId::kJobId), &jid);
+    decode_i64(need(g, ColumnId::kTaskIndex), &tidx);
+    decode_i64(need(g, ColumnId::kSubmitTime), &submit);
+    decode_i64(need(g, ColumnId::kScheduleTime), &sched);
+    decode_i64(need(g, ColumnId::kEndTime), &end_t);
+    decode_i64(need(g, ColumnId::kMachineId), &mid);
+    decode_i64(need(g, ColumnId::kResubmits), &resub);
+    const auto prio = u8_span(need(g, ColumnId::kPriority));
+    const auto end_ev = u8_span(need(g, ColumnId::kEndEvent));
+    const auto cpu_req = f32_span(need(g, ColumnId::kCpuRequest));
+    const auto mem_req = f32_span(need(g, ColumnId::kMemRequest));
+    const auto cpu_use = f32_span(need(g, ColumnId::kCpuUsage));
+    const auto mem_use = f32_span(need(g, ColumnId::kMemUsage));
+    trace::Task* dst = tasks.data() + g.row_begin;
+    for (std::size_t i = 0; i < g.row_count; ++i) {
+      trace::Task& t = dst[i];
+      t.job_id = jid[i];
+      t.task_index = static_cast<std::int32_t>(tidx[i]);
+      t.priority = prio[i];
+      t.submit_time = submit[i];
+      t.schedule_time = sched[i];
+      t.end_time = end_t[i];
+      t.end_event = static_cast<trace::TaskEventType>(end_ev[i]);
+      t.machine_id = mid[i];
+      t.resubmits = static_cast<std::int32_t>(resub[i]);
+      t.cpu_request = cpu_req[i];
+      t.mem_request = mem_req[i];
+      t.cpu_usage = cpu_use[i];
+      t.mem_usage = mem_use[i];
+    }
+  });
+
+  const std::vector<RowGroupChunks> event_groups =
+      group_rows(SectionId::kEvents);
+  util::parallel_for(0, event_groups.size(), [&](std::size_t gi) {
+    const RowGroupChunks& g = event_groups[gi];
+    std::vector<std::int64_t> time, jid, tidx, mid;
+    decode_i64(need(g, ColumnId::kTime), &time);
+    decode_i64(need(g, ColumnId::kJobId), &jid);
+    decode_i64(need(g, ColumnId::kTaskIndex), &tidx);
+    decode_i64(need(g, ColumnId::kMachineId), &mid);
+    const auto type = u8_span(need(g, ColumnId::kEventType));
+    const auto prio = u8_span(need(g, ColumnId::kPriority));
+    trace::TaskEvent* dst = events.data() + g.row_begin;
+    for (std::size_t i = 0; i < g.row_count; ++i) {
+      trace::TaskEvent& e = dst[i];
+      e.time = time[i];
+      e.job_id = jid[i];
+      e.task_index = static_cast<std::int32_t>(tidx[i]);
+      e.machine_id = mid[i];
+      e.type = static_cast<trace::TaskEventType>(type[i]);
+      e.priority = prio[i];
+    }
+  });
+
+  // The remaining sections are small (jobs, machines) or already land
+  // in flat per-column arrays (host load), so they decode chunk-wise.
+  util::parallel_for(0, chunks_.size(), [&](std::size_t ci) {
+    const ChunkMeta& c = chunks_[ci];
+    if (c.section == SectionId::kTasks || c.section == SectionId::kEvents) {
+      return;
+    }
+    const std::size_t lo = c.row_begin;
+    std::vector<std::int64_t> ints;
+    if (c.encoding == Encoding::kVarint ||
+        c.encoding == Encoding::kDeltaVarint) {
+      decode_i64(c, &ints);
+    }
+    auto f32 = [&] { return f32_span(c); };
+    auto u8 = [&] { return u8_span(c); };
+    switch (c.section) {
+      case SectionId::kTasks:
+      case SectionId::kEvents:
+        break;  // handled by the fused row-group passes above
+      case SectionId::kJobs:
+        switch (c.column) {
+          case ColumnId::kJobId:
+            for (std::size_t i = 0; i < ints.size(); ++i) {
+              jobs[lo + i].job_id = ints[i];
+            }
+            break;
+          case ColumnId::kUserId:
+            for (std::size_t i = 0; i < ints.size(); ++i) {
+              jobs[lo + i].user_id = ints[i];
+            }
+            break;
+          case ColumnId::kPriority: {
+            const auto s = u8();
+            for (std::size_t i = 0; i < s.size(); ++i) {
+              jobs[lo + i].priority = s[i];
+            }
+            break;
+          }
+          case ColumnId::kSubmitTime:
+            for (std::size_t i = 0; i < ints.size(); ++i) {
+              jobs[lo + i].submit_time = ints[i];
+            }
+            break;
+          case ColumnId::kEndTime:
+            for (std::size_t i = 0; i < ints.size(); ++i) {
+              jobs[lo + i].end_time = ints[i];
+            }
+            break;
+          case ColumnId::kNumTasks:
+            for (std::size_t i = 0; i < ints.size(); ++i) {
+              jobs[lo + i].num_tasks = static_cast<std::int32_t>(ints[i]);
+            }
+            break;
+          case ColumnId::kCpuParallelism: {
+            const auto s = f32();
+            for (std::size_t i = 0; i < s.size(); ++i) {
+              jobs[lo + i].cpu_parallelism = s[i];
+            }
+            break;
+          }
+          case ColumnId::kMemUsage: {
+            const auto s = f32();
+            for (std::size_t i = 0; i < s.size(); ++i) {
+              jobs[lo + i].mem_usage = s[i];
+            }
+            break;
+          }
+          default:
+            CGC_CHECK_MSG(false, "unknown jobs column in store file");
+        }
+        break;
+      case SectionId::kMachines:
+        switch (c.column) {
+          case ColumnId::kMachineId:
+            for (std::size_t i = 0; i < ints.size(); ++i) {
+              machines[lo + i].machine_id = ints[i];
+            }
+            break;
+          case ColumnId::kCpuCapacity: {
+            const auto s = f32();
+            for (std::size_t i = 0; i < s.size(); ++i) {
+              machines[lo + i].cpu_capacity = s[i];
+            }
+            break;
+          }
+          case ColumnId::kMemCapacity: {
+            const auto s = f32();
+            for (std::size_t i = 0; i < s.size(); ++i) {
+              machines[lo + i].mem_capacity = s[i];
+            }
+            break;
+          }
+          case ColumnId::kPageCacheCapacity: {
+            const auto s = f32();
+            for (std::size_t i = 0; i < s.size(); ++i) {
+              machines[lo + i].page_cache_capacity = s[i];
+            }
+            break;
+          }
+          case ColumnId::kAttributes: {
+            const auto s = u8();
+            for (std::size_t i = 0; i < s.size(); ++i) {
+              machines[lo + i].attributes = s[i];
+            }
+            break;
+          }
+          default:
+            CGC_CHECK_MSG(false, "unknown machines column in store file");
+        }
+        break;
+      case SectionId::kHostLoad: {
+        auto copy_f32 = [&](std::vector<float>* dst) {
+          const auto s = f32();
+          std::copy(s.begin(), s.end(), dst->begin() + lo);
+        };
+        auto copy_i32 = [&](std::vector<std::int32_t>* dst) {
+          for (std::size_t i = 0; i < ints.size(); ++i) {
+            (*dst)[lo + i] = static_cast<std::int32_t>(ints[i]);
+          }
+        };
+        switch (c.column) {
+          case ColumnId::kCpuLow:
+            copy_f32(&hl.cpu[0]);
+            break;
+          case ColumnId::kCpuMid:
+            copy_f32(&hl.cpu[1]);
+            break;
+          case ColumnId::kCpuHigh:
+            copy_f32(&hl.cpu[2]);
+            break;
+          case ColumnId::kMemLow:
+            copy_f32(&hl.mem[0]);
+            break;
+          case ColumnId::kMemMid:
+            copy_f32(&hl.mem[1]);
+            break;
+          case ColumnId::kMemHigh:
+            copy_f32(&hl.mem[2]);
+            break;
+          case ColumnId::kMemAssigned:
+            copy_f32(&hl.mem_assigned);
+            break;
+          case ColumnId::kPageCache:
+            copy_f32(&hl.page_cache);
+            break;
+          case ColumnId::kRunning:
+            copy_i32(&hl.running);
+            break;
+          case ColumnId::kPending:
+            copy_i32(&hl.pending);
+            break;
+          default:
+            CGC_CHECK_MSG(false, "unknown host-load column in store file");
+        }
+        break;
+      }
+    }
+  });
+
+  // Rebuild the per-machine series from the flat columns; each series
+  // owns a disjoint sample range, so this also fans out cleanly.
+  std::vector<std::size_t> series_offset(series_.size() + 1, 0);
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    series_offset[i + 1] = series_offset[i] + series_[i].samples;
+  }
+  std::vector<HostLoadSeries> host_load(series_.size());
+  util::parallel_for(0, series_.size(), [&](std::size_t si) {
+    const SeriesMeta& meta = series_[si];
+    HostLoadSeries series(meta.machine_id, meta.start, meta.period);
+    const std::size_t base = series_offset[si];
+    const std::size_t n = meta.samples;
+    const std::span<const float> cpu[kNumBands] = {
+        std::span(hl.cpu[0]).subspan(base, n),
+        std::span(hl.cpu[1]).subspan(base, n),
+        std::span(hl.cpu[2]).subspan(base, n)};
+    const std::span<const float> mem[kNumBands] = {
+        std::span(hl.mem[0]).subspan(base, n),
+        std::span(hl.mem[1]).subspan(base, n),
+        std::span(hl.mem[2]).subspan(base, n)};
+    series.append_samples(cpu, mem, std::span(hl.mem_assigned).subspan(base, n),
+                          std::span(hl.page_cache).subspan(base, n),
+                          std::span(hl.running).subspan(base, n),
+                          std::span(hl.pending).subspan(base, n));
+    host_load[si] = std::move(series);
+  });
+
+  trace::TraceSet trace(info_.system_name);
+  trace.set_memory_in_mb(info_.memory_in_mb);
+  trace.adopt_jobs(std::move(jobs));
+  trace.adopt_tasks(std::move(tasks));
+  trace.adopt_events(std::move(events));
+  trace.adopt_machines(std::move(machines));
+  trace.adopt_host_load(std::move(host_load));
+  trace.set_duration(info_.duration);
+  trace.finalize();
+  return trace;
+}
+
+std::vector<StoreReader::EventRowGroup> StoreReader::event_row_groups()
+    const {
+  std::map<std::uint64_t, EventRowGroup> groups;  // ordered by row_begin
+  for (const ChunkMeta& c : chunks_) {
+    if (c.section != SectionId::kEvents) {
+      continue;
+    }
+    EventRowGroup& g = groups[c.row_begin];
+    g.row_begin = c.row_begin;
+    g.row_count = c.row_count;
+    switch (c.column) {
+      case ColumnId::kTime:
+        g.time = &c;
+        break;
+      case ColumnId::kJobId:
+        g.job_id = &c;
+        break;
+      case ColumnId::kTaskIndex:
+        g.task_index = &c;
+        break;
+      case ColumnId::kMachineId:
+        g.machine_id = &c;
+        break;
+      case ColumnId::kEventType:
+        g.type = &c;
+        break;
+      case ColumnId::kPriority:
+        g.priority = &c;
+        break;
+      default:
+        CGC_CHECK_MSG(false, "unknown events column in store file");
+    }
+  }
+  std::vector<EventRowGroup> out;
+  out.reserve(groups.size());
+  for (const auto& [begin, g] : groups) {
+    CGC_CHECK_MSG(g.time && g.job_id && g.task_index && g.machine_id &&
+                      g.type && g.priority,
+                  bad_file(file_.path(), "events row group missing columns"));
+    out.push_back(g);
+  }
+  return out;
+}
+
+ScanStats StoreReader::scan(
+    const EventPredicate& predicate,
+    const std::function<void(std::span<const trace::TaskEvent>)>& fn) const {
+  const std::vector<EventRowGroup> groups = event_row_groups();
+  ScanStats stats;
+  stats.row_groups_total = groups.size();
+
+  // Zone-map pushdown: a group survives only if its time and job_id
+  // ranges can intersect the predicate's bounds.
+  std::vector<const EventRowGroup*> survivors;
+  for (const EventRowGroup& g : groups) {
+    if (predicate.time_min && g.time->int_max < *predicate.time_min) {
+      continue;
+    }
+    if (predicate.time_max && g.time->int_min > *predicate.time_max) {
+      continue;
+    }
+    if (predicate.job_id_min && g.job_id->int_max < *predicate.job_id_min) {
+      continue;
+    }
+    if (predicate.job_id_max && g.job_id->int_min > *predicate.job_id_max) {
+      continue;
+    }
+    survivors.push_back(&g);
+  }
+  stats.row_groups_scanned = survivors.size();
+
+  // Decode surviving groups in parallel; deliver serially in file order.
+  std::vector<std::vector<trace::TaskEvent>> slots(survivors.size());
+  std::atomic<std::size_t> decoded{0};
+  std::atomic<std::size_t> matched{0};
+  util::parallel_for(0, survivors.size(), [&](std::size_t gi) {
+    const EventRowGroup& g = *survivors[gi];
+    std::vector<std::int64_t> time, job_id, task_index, machine_id;
+    decode_i64(*g.time, &time);
+    decode_i64(*g.job_id, &job_id);
+    decode_i64(*g.task_index, &task_index);
+    decode_i64(*g.machine_id, &machine_id);
+    const auto type = u8_span(*g.type);
+    const auto priority = u8_span(*g.priority);
+    std::vector<trace::TaskEvent>& out = slots[gi];
+    for (std::size_t i = 0; i < g.row_count; ++i) {
+      trace::TaskEvent e;
+      e.time = time[i];
+      e.job_id = job_id[i];
+      e.task_index = static_cast<std::int32_t>(task_index[i]);
+      e.machine_id = machine_id[i];
+      e.type = static_cast<trace::TaskEventType>(type[i]);
+      e.priority = priority[i];
+      if (predicate.matches(e)) {
+        out.push_back(e);
+      }
+    }
+    decoded.fetch_add(g.row_count, std::memory_order_relaxed);
+    matched.fetch_add(out.size(), std::memory_order_relaxed);
+  });
+  stats.rows_decoded = decoded.load();
+  stats.rows_matched = matched.load();
+
+  for (const std::vector<trace::TaskEvent>& slot : slots) {
+    if (!slot.empty()) {
+      fn(slot);
+    }
+  }
+  return stats;
+}
+
+std::vector<trace::TaskEvent> StoreReader::query_events(
+    const EventPredicate& predicate) const {
+  std::vector<trace::TaskEvent> out;
+  scan(predicate, [&](std::span<const trace::TaskEvent> batch) {
+    out.insert(out.end(), batch.begin(), batch.end());
+  });
+  return out;
+}
+
+trace::TraceSet read_cgcs(const std::string& path) {
+  return StoreReader(path).load_trace_set();
+}
+
+}  // namespace cgc::store

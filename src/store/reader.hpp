@@ -1,0 +1,138 @@
+// CGCS reader: memory-maps a .cgcs file and exposes
+//   * zero-copy spans over raw columns (floats/bytes point straight
+//     into the mapping — no decode, no allocation),
+//   * load_trace_set(): full TraceSet materialization with chunk
+//     decoding fanned out over util::ThreadPool,
+//   * scan(): predicate-pushdown scan over the events section that
+//     skips whole chunks via zone maps before touching their bytes.
+//
+// Validation: header/trailer magic, format version, footer CRC and
+// bounds are checked at open; each chunk's CRC-32 is checked once on
+// first access. Corrupted or truncated files throw cgc::util::Error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/cgcs_format.hpp"
+#include "store/mmap_file.hpp"
+#include "trace/trace_set.hpp"
+
+namespace cgc::store {
+
+/// Summary of an open store file.
+struct StoreInfo {
+  std::string system_name;
+  util::TimeSec duration = 0;
+  bool memory_in_mb = false;
+  std::uint64_t num_jobs = 0;
+  std::uint64_t num_tasks = 0;
+  std::uint64_t num_events = 0;
+  std::uint64_t num_machines = 0;
+  std::uint64_t num_hostload_series = 0;
+  std::uint64_t num_hostload_samples = 0;
+  std::uint64_t file_size = 0;
+  std::size_t num_chunks = 0;
+};
+
+/// Range predicate over task events; unset bounds are open. Chunks whose
+/// zone maps cannot intersect the bounds are skipped without decoding.
+struct EventPredicate {
+  std::optional<util::TimeSec> time_min;
+  std::optional<util::TimeSec> time_max;
+  std::optional<std::int64_t> job_id_min;
+  std::optional<std::int64_t> job_id_max;
+
+  bool matches(const trace::TaskEvent& e) const {
+    return (!time_min || e.time >= *time_min) &&
+           (!time_max || e.time <= *time_max) &&
+           (!job_id_min || e.job_id >= *job_id_min) &&
+           (!job_id_max || e.job_id <= *job_id_max);
+  }
+};
+
+/// What a scan did — chunks_skipped measures zone-map pushdown.
+struct ScanStats {
+  std::size_t row_groups_total = 0;
+  std::size_t row_groups_scanned = 0;
+  std::size_t rows_decoded = 0;
+  std::size_t rows_matched = 0;
+};
+
+class StoreReader {
+ public:
+  /// Opens and validates `path`; throws cgc::util::Error on a missing,
+  /// truncated, or corrupted file.
+  explicit StoreReader(const std::string& path);
+  ~StoreReader();
+
+  StoreReader(const StoreReader&) = delete;
+  StoreReader& operator=(const StoreReader&) = delete;
+
+  const StoreInfo& info() const { return info_; }
+  const std::string& path() const { return file_.path(); }
+  const std::vector<ChunkMeta>& chunks() const { return chunks_; }
+
+  /// Chunk directory entries for one column, ordered by row_begin.
+  std::vector<const ChunkMeta*> column_chunks(SectionId section,
+                                              ColumnId column) const;
+
+  /// Zero-copy span over a raw f32 chunk (points into the mmap; valid
+  /// for the reader's lifetime). CRC is verified on first access.
+  std::span<const float> f32_span(const ChunkMeta& chunk) const;
+  /// Zero-copy span over a raw u8 chunk.
+  std::span<const std::uint8_t> u8_span(const ChunkMeta& chunk) const;
+  /// Decodes an integer chunk (varint or delta+varint) into `out`.
+  void decode_i64(const ChunkMeta& chunk,
+                  std::vector<std::int64_t>* out) const;
+
+  /// Materializes the full TraceSet. Chunk decoding is parallelized over
+  /// util::ThreadPool; the result is finalized and ready for analyzers.
+  trace::TraceSet load_trace_set() const;
+
+  /// Streams events matching `predicate` to `fn`, one span per row
+  /// group, in file order. Row groups whose time/job_id zone maps fall
+  /// outside the predicate are skipped without decoding; surviving
+  /// groups decode in parallel. `fn` is invoked serially.
+  ScanStats scan(
+      const EventPredicate& predicate,
+      const std::function<void(std::span<const trace::TaskEvent>)>& fn) const;
+
+  /// Convenience: scan() collecting the matches.
+  std::vector<trace::TaskEvent> query_events(
+      const EventPredicate& predicate) const;
+
+ private:
+  struct EventRowGroup;
+
+  std::span<const std::uint8_t> payload(const ChunkMeta& chunk) const;
+  void parse_footer();
+  void validate_chunks() const;
+  std::vector<EventRowGroup> event_row_groups() const;
+
+  MmapFile file_;
+  StoreInfo info_;
+  /// (machine_id, start, period, sample_count) per host-load series.
+  struct SeriesMeta {
+    std::int64_t machine_id = 0;
+    util::TimeSec start = 0;
+    util::TimeSec period = 0;
+    std::uint64_t samples = 0;
+  };
+  std::vector<SeriesMeta> series_;
+  std::vector<ChunkMeta> chunks_;
+  /// One flag per chunk: CRC verified. First access verifies; races are
+  /// benign (both sides compute the same answer).
+  mutable std::vector<std::atomic<bool>> crc_checked_;
+};
+
+/// Convenience one-shot: open, materialize, close.
+trace::TraceSet read_cgcs(const std::string& path);
+
+}  // namespace cgc::store

@@ -1,0 +1,416 @@
+#include "store/writer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "store/encoding.hpp"
+#include "util/check.hpp"
+
+namespace cgc::store {
+
+static_assert(std::endian::native == std::endian::little,
+              "CGCS raw columns assume a little-endian host");
+
+namespace {
+
+using trace::HostLoadSeries;
+using trace::TraceSet;
+
+/// Serializes chunks sequentially and accumulates the directory.
+class FileBuilder {
+ public:
+  FileBuilder(const std::string& path, ChunkOptions chunk_options)
+      : out_(path, std::ios::binary), chunk_options_(chunk_options) {
+    CGC_CHECK_MSG(out_.good(), "cannot open store file for writing: " + path);
+    // Header: magic | version | flags | reserved. Everything goes
+    // through write_bytes so offset_ tracks the true file position.
+    write_bytes({reinterpret_cast<const std::uint8_t*>(kMagic.data()), 4});
+    BufferWriter header;
+    header.put_u32(kFormatVersion);
+    header.put_u32(0);
+    header.put_u32(0);
+    write_bytes(header.bytes());
+  }
+
+  /// Integer column: one chunk per row group, zigzag varint, optionally
+  /// delta-encoded. `get(i)` returns row i's value.
+  void add_i64_column(SectionId section, ColumnId column, std::size_t rows,
+                      bool delta,
+                      const std::function<std::int64_t(std::size_t)>& get) {
+    std::vector<std::int64_t> scratch;
+    std::vector<std::uint8_t> payload;
+    for_each_row_group(rows, [&](std::size_t lo, std::size_t hi) {
+      scratch.clear();
+      scratch.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        scratch.push_back(get(i));
+      }
+      payload.clear();
+      encode_i64_column(scratch, delta, &payload);
+      ChunkMeta meta = base_meta(section, column,
+                                 delta ? Encoding::kDeltaVarint
+                                       : Encoding::kVarint,
+                                 lo, hi - lo);
+      for (const std::int64_t v : scratch) {
+        meta.int_min = std::min(meta.int_min, v);
+        meta.int_max = std::max(meta.int_max, v);
+      }
+      append_chunk(meta, payload);
+    });
+  }
+
+  /// Raw float column; the reader exposes these chunks zero-copy.
+  void add_f32_column(SectionId section, ColumnId column, std::size_t rows,
+                      const std::function<float(std::size_t)>& get) {
+    std::vector<float> scratch;
+    for_each_row_group(rows, [&](std::size_t lo, std::size_t hi) {
+      scratch.clear();
+      scratch.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        scratch.push_back(get(i));
+      }
+      ChunkMeta meta =
+          base_meta(section, column, Encoding::kRawF32, lo, hi - lo);
+      for (const float v : scratch) {
+        meta.real_min = std::min(meta.real_min, static_cast<double>(v));
+        meta.real_max = std::max(meta.real_max, static_cast<double>(v));
+      }
+      append_chunk(meta,
+                   {reinterpret_cast<const std::uint8_t*>(scratch.data()),
+                    scratch.size() * sizeof(float)});
+    });
+  }
+
+  /// Raw byte column (enums, priorities, attribute masks).
+  void add_u8_column(SectionId section, ColumnId column, std::size_t rows,
+                     const std::function<std::uint8_t(std::size_t)>& get) {
+    std::vector<std::uint8_t> scratch;
+    for_each_row_group(rows, [&](std::size_t lo, std::size_t hi) {
+      scratch.clear();
+      scratch.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        scratch.push_back(get(i));
+      }
+      ChunkMeta meta =
+          base_meta(section, column, Encoding::kRawU8, lo, hi - lo);
+      for (const std::uint8_t v : scratch) {
+        meta.int_min = std::min<std::int64_t>(meta.int_min, v);
+        meta.int_max = std::max<std::int64_t>(meta.int_max, v);
+      }
+      append_chunk(meta, scratch);
+    });
+  }
+
+  /// Writes the footer + trailer. Call exactly once, last.
+  void finish(const TraceSet& trace, std::size_t num_hostload_samples) {
+    const std::uint64_t footer_offset = offset_;
+    BufferWriter footer;
+    footer.put_u32(kFormatVersion);
+    footer.put_string(trace.system_name());
+    footer.put_i64(trace.duration());
+    footer.put_u8(trace.memory_in_mb() ? 1 : 0);
+    footer.put_u64(trace.jobs().size());
+    footer.put_u64(trace.tasks().size());
+    footer.put_u64(trace.events().size());
+    footer.put_u64(trace.machines().size());
+    footer.put_u64(num_hostload_samples);
+    // Host-load series directory: samples are flattened series-major, so
+    // (machine_id, start, period, count) reconstructs every series.
+    footer.put_u64(trace.host_load().size());
+    for (const HostLoadSeries& h : trace.host_load()) {
+      footer.put_i64(h.machine_id());
+      footer.put_i64(h.start());
+      footer.put_i64(h.period());
+      footer.put_u64(h.size());
+    }
+    // Chunk directory.
+    footer.put_u32(static_cast<std::uint32_t>(chunks_.size()));
+    for (const ChunkMeta& c : chunks_) {
+      footer.put_u8(static_cast<std::uint8_t>(c.section));
+      footer.put_u8(static_cast<std::uint8_t>(c.column));
+      footer.put_u8(static_cast<std::uint8_t>(c.encoding));
+      footer.put_u64(c.offset);
+      footer.put_u64(c.payload_size);
+      footer.put_u64(c.row_begin);
+      footer.put_u64(c.row_count);
+      footer.put_i64(c.int_min);
+      footer.put_i64(c.int_max);
+      footer.put_f64(c.real_min);
+      footer.put_f64(c.real_max);
+      footer.put_u32(c.crc);
+    }
+    write_bytes(footer.bytes());
+
+    BufferWriter trailer;
+    trailer.put_u64(footer_offset);
+    trailer.put_u32(crc32(footer.bytes()));
+    write_bytes(trailer.bytes());
+    write_bytes(
+        {reinterpret_cast<const std::uint8_t*>(kEndMagic.data()), 4});
+    out_.flush();
+    CGC_CHECK_MSG(out_.good(), "I/O error writing store file");
+  }
+
+ private:
+  void for_each_row_group(
+      std::size_t rows,
+      const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::size_t group = chunk_options_.rows_per_chunk;
+    for (std::size_t lo = 0; lo < rows; lo += group) {
+      fn(lo, std::min(rows, lo + group));
+    }
+  }
+
+  ChunkMeta base_meta(SectionId section, ColumnId column, Encoding encoding,
+                      std::size_t row_begin, std::size_t row_count) {
+    ChunkMeta meta;
+    meta.section = section;
+    meta.column = column;
+    meta.encoding = encoding;
+    meta.row_begin = row_begin;
+    meta.row_count = row_count;
+    return meta;
+  }
+
+  void append_chunk(ChunkMeta meta, std::span<const std::uint8_t> payload) {
+    // Pad so every chunk starts 8-byte aligned (raw f32 spans need it).
+    static constexpr std::uint8_t kZeros[kChunkAlignment] = {};
+    const std::size_t misalign = offset_ % kChunkAlignment;
+    if (misalign != 0) {
+      write_bytes({kZeros, kChunkAlignment - misalign});
+    }
+    meta.offset = offset_;
+    meta.payload_size = payload.size();
+    meta.crc = crc32(payload);
+    write_bytes(payload);
+    chunks_.push_back(meta);
+  }
+
+  void write_bytes(std::span<const std::uint8_t> bytes) {
+    out_.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    offset_ += bytes.size();
+  }
+
+  std::ofstream out_;
+  ChunkOptions chunk_options_;
+  std::uint64_t offset_ = 0;
+  std::vector<ChunkMeta> chunks_;
+};
+
+/// Forward-only cursor over the flattened host-load sample index:
+/// flat row i lives in series `series_idx` at sample `sample_idx`.
+/// Column gathers visit rows strictly in order, so advancing is O(1)
+/// amortized with no per-row search.
+class HostLoadCursor {
+ public:
+  explicit HostLoadCursor(std::span<const HostLoadSeries> series)
+      : series_(series) {
+    skip_empty();
+  }
+
+  /// Moves to flat row `target` (>= current position).
+  void advance_to(std::size_t target) {
+    while (flat_ < target) {
+      ++flat_;
+      ++sample_;
+      if (sample_ >= series_[series_idx_].size()) {
+        ++series_idx_;
+        sample_ = 0;
+        skip_empty();
+      }
+    }
+  }
+
+  const HostLoadSeries& series() const { return series_[series_idx_]; }
+  std::size_t sample() const { return sample_; }
+
+ private:
+  void skip_empty() {
+    while (series_idx_ < series_.size() && series_[series_idx_].empty()) {
+      ++series_idx_;
+    }
+  }
+
+  std::span<const HostLoadSeries> series_;
+  std::size_t series_idx_ = 0;
+  std::size_t sample_ = 0;
+  std::size_t flat_ = 0;
+};
+
+/// Makes a float getter over the flattened host-load rows using
+/// `metric(series, sample_index)`.
+std::function<float(std::size_t)> hostload_f32(
+    std::span<const HostLoadSeries> series,
+    std::function<float(const HostLoadSeries&, std::size_t)> metric) {
+  auto cursor = std::make_shared<HostLoadCursor>(series);
+  return [cursor, metric = std::move(metric)](std::size_t i) {
+    cursor->advance_to(i);
+    return metric(cursor->series(), cursor->sample());
+  };
+}
+
+std::function<std::int64_t(std::size_t)> hostload_i64(
+    std::span<const HostLoadSeries> series,
+    std::function<std::int64_t(const HostLoadSeries&, std::size_t)> metric) {
+  auto cursor = std::make_shared<HostLoadCursor>(series);
+  return [cursor, metric = std::move(metric)](std::size_t i) {
+    cursor->advance_to(i);
+    return metric(cursor->series(), cursor->sample());
+  };
+}
+
+}  // namespace
+
+void write_cgcs(const trace::TraceSet& trace, const std::string& path,
+                const WriteOptions& options) {
+  CGC_CHECK_MSG(options.chunks.rows_per_chunk > 0,
+                "rows_per_chunk must be positive");
+  FileBuilder file(path, options.chunks);
+
+  // -- jobs -----------------------------------------------------------------
+  const auto jobs = trace.jobs();
+  const std::size_t nj = jobs.size();
+  file.add_i64_column(SectionId::kJobs, ColumnId::kJobId, nj, false,
+                      [&](std::size_t i) { return jobs[i].job_id; });
+  file.add_i64_column(SectionId::kJobs, ColumnId::kUserId, nj, false,
+                      [&](std::size_t i) { return jobs[i].user_id; });
+  file.add_u8_column(SectionId::kJobs, ColumnId::kPriority, nj,
+                     [&](std::size_t i) { return jobs[i].priority; });
+  // Jobs are sorted by submit time after finalize(): delta-encode.
+  file.add_i64_column(SectionId::kJobs, ColumnId::kSubmitTime, nj, true,
+                      [&](std::size_t i) { return jobs[i].submit_time; });
+  file.add_i64_column(SectionId::kJobs, ColumnId::kEndTime, nj, false,
+                      [&](std::size_t i) { return jobs[i].end_time; });
+  file.add_i64_column(SectionId::kJobs, ColumnId::kNumTasks, nj, false,
+                      [&](std::size_t i) { return jobs[i].num_tasks; });
+  file.add_f32_column(SectionId::kJobs, ColumnId::kCpuParallelism, nj,
+                      [&](std::size_t i) { return jobs[i].cpu_parallelism; });
+  file.add_f32_column(SectionId::kJobs, ColumnId::kMemUsage, nj,
+                      [&](std::size_t i) { return jobs[i].mem_usage; });
+
+  // -- tasks ----------------------------------------------------------------
+  const auto tasks = trace.tasks();
+  const std::size_t nt = tasks.size();
+  // Tasks are sorted by (job_id, task_index) after finalize().
+  file.add_i64_column(SectionId::kTasks, ColumnId::kJobId, nt, true,
+                      [&](std::size_t i) { return tasks[i].job_id; });
+  file.add_i64_column(SectionId::kTasks, ColumnId::kTaskIndex, nt, false,
+                      [&](std::size_t i) { return tasks[i].task_index; });
+  file.add_u8_column(SectionId::kTasks, ColumnId::kPriority, nt,
+                     [&](std::size_t i) { return tasks[i].priority; });
+  file.add_i64_column(SectionId::kTasks, ColumnId::kSubmitTime, nt, false,
+                      [&](std::size_t i) { return tasks[i].submit_time; });
+  file.add_i64_column(SectionId::kTasks, ColumnId::kScheduleTime, nt, false,
+                      [&](std::size_t i) { return tasks[i].schedule_time; });
+  file.add_i64_column(SectionId::kTasks, ColumnId::kEndTime, nt, false,
+                      [&](std::size_t i) { return tasks[i].end_time; });
+  file.add_u8_column(
+      SectionId::kTasks, ColumnId::kEndEvent, nt, [&](std::size_t i) {
+        return static_cast<std::uint8_t>(tasks[i].end_event);
+      });
+  file.add_i64_column(SectionId::kTasks, ColumnId::kMachineId, nt, false,
+                      [&](std::size_t i) { return tasks[i].machine_id; });
+  file.add_i64_column(SectionId::kTasks, ColumnId::kResubmits, nt, false,
+                      [&](std::size_t i) { return tasks[i].resubmits; });
+  file.add_f32_column(SectionId::kTasks, ColumnId::kCpuRequest, nt,
+                      [&](std::size_t i) { return tasks[i].cpu_request; });
+  file.add_f32_column(SectionId::kTasks, ColumnId::kMemRequest, nt,
+                      [&](std::size_t i) { return tasks[i].mem_request; });
+  file.add_f32_column(SectionId::kTasks, ColumnId::kCpuUsage, nt,
+                      [&](std::size_t i) { return tasks[i].cpu_usage; });
+  file.add_f32_column(SectionId::kTasks, ColumnId::kMemUsage, nt,
+                      [&](std::size_t i) { return tasks[i].mem_usage; });
+
+  // -- events ---------------------------------------------------------------
+  const auto events = trace.events();
+  const std::size_t ne = events.size();
+  // Events are time-sorted after finalize(): delta-encode the clock.
+  file.add_i64_column(SectionId::kEvents, ColumnId::kTime, ne, true,
+                      [&](std::size_t i) { return events[i].time; });
+  file.add_i64_column(SectionId::kEvents, ColumnId::kJobId, ne, false,
+                      [&](std::size_t i) { return events[i].job_id; });
+  file.add_i64_column(SectionId::kEvents, ColumnId::kTaskIndex, ne, false,
+                      [&](std::size_t i) { return events[i].task_index; });
+  file.add_i64_column(SectionId::kEvents, ColumnId::kMachineId, ne, false,
+                      [&](std::size_t i) { return events[i].machine_id; });
+  file.add_u8_column(
+      SectionId::kEvents, ColumnId::kEventType, ne, [&](std::size_t i) {
+        return static_cast<std::uint8_t>(events[i].type);
+      });
+  file.add_u8_column(SectionId::kEvents, ColumnId::kPriority, ne,
+                     [&](std::size_t i) { return events[i].priority; });
+
+  // -- machines -------------------------------------------------------------
+  const auto machines = trace.machines();
+  const std::size_t nm = machines.size();
+  file.add_i64_column(SectionId::kMachines, ColumnId::kMachineId, nm, false,
+                      [&](std::size_t i) { return machines[i].machine_id; });
+  file.add_f32_column(SectionId::kMachines, ColumnId::kCpuCapacity, nm,
+                      [&](std::size_t i) { return machines[i].cpu_capacity; });
+  file.add_f32_column(SectionId::kMachines, ColumnId::kMemCapacity, nm,
+                      [&](std::size_t i) { return machines[i].mem_capacity; });
+  file.add_f32_column(
+      SectionId::kMachines, ColumnId::kPageCacheCapacity, nm,
+      [&](std::size_t i) { return machines[i].page_cache_capacity; });
+  file.add_u8_column(SectionId::kMachines, ColumnId::kAttributes, nm,
+                     [&](std::size_t i) { return machines[i].attributes; });
+
+  // -- host load (flattened series-major) -----------------------------------
+  const auto host_load = trace.host_load();
+  std::size_t ns = 0;
+  for (const HostLoadSeries& h : host_load) {
+    ns += h.size();
+  }
+  using trace::PriorityBand;
+  const struct {
+    ColumnId column;
+    PriorityBand band;
+    bool is_cpu;
+  } band_columns[] = {
+      {ColumnId::kCpuLow, PriorityBand::kLow, true},
+      {ColumnId::kCpuMid, PriorityBand::kMid, true},
+      {ColumnId::kCpuHigh, PriorityBand::kHigh, true},
+      {ColumnId::kMemLow, PriorityBand::kLow, false},
+      {ColumnId::kMemMid, PriorityBand::kMid, false},
+      {ColumnId::kMemHigh, PriorityBand::kHigh, false},
+  };
+  for (const auto& bc : band_columns) {
+    file.add_f32_column(
+        SectionId::kHostLoad, bc.column, ns,
+        hostload_f32(host_load,
+                     [band = bc.band, is_cpu = bc.is_cpu](
+                         const HostLoadSeries& h, std::size_t i) {
+                       return is_cpu ? h.cpu(band, i) : h.mem(band, i);
+                     }));
+  }
+  file.add_f32_column(SectionId::kHostLoad, ColumnId::kMemAssigned, ns,
+                      hostload_f32(host_load,
+                                   [](const HostLoadSeries& h, std::size_t i) {
+                                     return h.mem_assigned(i);
+                                   }));
+  file.add_f32_column(SectionId::kHostLoad, ColumnId::kPageCache, ns,
+                      hostload_f32(host_load,
+                                   [](const HostLoadSeries& h, std::size_t i) {
+                                     return h.page_cache(i);
+                                   }));
+  file.add_i64_column(SectionId::kHostLoad, ColumnId::kRunning, ns, false,
+                      hostload_i64(host_load,
+                                   [](const HostLoadSeries& h, std::size_t i) {
+                                     return h.running(i);
+                                   }));
+  file.add_i64_column(SectionId::kHostLoad, ColumnId::kPending, ns, false,
+                      hostload_i64(host_load,
+                                   [](const HostLoadSeries& h, std::size_t i) {
+                                     return h.pending(i);
+                                   }));
+
+  file.finish(trace, ns);
+}
+
+}  // namespace cgc::store

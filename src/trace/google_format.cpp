@@ -133,39 +133,48 @@ namespace {
 void read_task_events(const std::string& path, TraceSet* trace) {
   util::CsvReader in(path);
   while (in.next_record()) {
-    const auto& f = in.fields();
-    CGC_CHECK_MSG(f.size() >= 9, path + ": task_events row too short at line " +
-                                     std::to_string(in.line_number()));
-    TaskEvent e;
-    e.time = util::parse_int(f[0]) / kMicrosPerSecond;
-    e.job_id = util::parse_int(f[2]);
-    e.task_index = static_cast<std::int32_t>(util::parse_int(f[3]));
-    e.machine_id = f[4].empty() ? -1 : util::parse_int(f[4]);
-    e.type = event_from_code(util::parse_int(f[5]));
-    const std::int64_t file_priority = util::parse_int(f[8]);
-    CGC_CHECK_MSG(file_priority >= 0 && file_priority < kNumPriorities,
-                  "priority out of range in " + path);
-    e.priority = static_cast<std::uint8_t>(file_priority + 1);
-    trace->add_event(e);
+    try {
+      const auto& f = in.fields();
+      CGC_CHECK_MSG(f.size() >= 9,
+                    "task_events row too short (truncated record?)");
+      TaskEvent e;
+      e.time = util::parse_int(f[0]) / kMicrosPerSecond;
+      e.job_id = util::parse_int(f[2]);
+      e.task_index = static_cast<std::int32_t>(util::parse_int(f[3]));
+      e.machine_id = f[4].empty() ? -1 : util::parse_int(f[4]);
+      e.type = event_from_code(util::parse_int(f[5]));
+      const std::int64_t file_priority = util::parse_int(f[8]);
+      CGC_CHECK_MSG(file_priority >= 0 && file_priority < kNumPriorities,
+                    "priority out of range");
+      e.priority = static_cast<std::uint8_t>(file_priority + 1);
+      trace->add_event(e);
+    } catch (const util::Error& e) {
+      util::throw_parse_error(path, in.line_number(), e.what());
+    }
   }
 }
 
 void read_machine_events(const std::string& path, TraceSet* trace) {
   util::CsvReader in(path);
   while (in.next_record()) {
-    const auto& f = in.fields();
-    CGC_CHECK_MSG(f.size() >= 6, path + ": machine_events row too short");
-    if (util::parse_int(f[2]) != 0) {
-      continue;  // only ADD events carry capacities we need
+    try {
+      const auto& f = in.fields();
+      CGC_CHECK_MSG(f.size() >= 6,
+                    "machine_events row too short (truncated record?)");
+      if (util::parse_int(f[2]) != 0) {
+        continue;  // only ADD events carry capacities we need
+      }
+      Machine m;
+      m.machine_id = util::parse_int(f[1]);
+      if (!f[3].empty()) {
+        m.attributes = static_cast<std::uint8_t>(util::parse_int(f[3]));
+      }
+      m.cpu_capacity = static_cast<float>(util::parse_double(f[4]));
+      m.mem_capacity = static_cast<float>(util::parse_double(f[5]));
+      trace->add_machine(m);
+    } catch (const util::Error& e) {
+      util::throw_parse_error(path, in.line_number(), e.what());
     }
-    Machine m;
-    m.machine_id = util::parse_int(f[1]);
-    if (!f[3].empty()) {
-      m.attributes = static_cast<std::uint8_t>(util::parse_int(f[3]));
-    }
-    m.cpu_capacity = static_cast<float>(util::parse_double(f[4]));
-    m.mem_capacity = static_cast<float>(util::parse_double(f[5]));
-    trace->add_machine(m);
   }
 }
 
@@ -173,24 +182,29 @@ void read_host_usage(const std::string& path, TraceSet* trace) {
   util::CsvReader in(path);
   std::unordered_map<std::int64_t, HostLoadSeries> series;
   while (in.next_record()) {
-    const auto& f = in.fields();
-    CGC_CHECK_MSG(f.size() >= 12, path + ": host_usage row too short");
-    const std::int64_t machine_id = util::parse_int(f[0]);
-    const TimeSec time = util::parse_int(f[1]);
-    auto [it, inserted] = series.try_emplace(
-        machine_id, machine_id, time, util::kSamplePeriod);
-    const float cpu[kNumBands] = {
-        static_cast<float>(util::parse_double(f[2])),
-        static_cast<float>(util::parse_double(f[3])),
-        static_cast<float>(util::parse_double(f[4]))};
-    const float mem[kNumBands] = {
-        static_cast<float>(util::parse_double(f[5])),
-        static_cast<float>(util::parse_double(f[6])),
-        static_cast<float>(util::parse_double(f[7]))};
-    it->second.append(cpu, mem, static_cast<float>(util::parse_double(f[8])),
-                      static_cast<float>(util::parse_double(f[9])),
-                      static_cast<std::int32_t>(util::parse_int(f[10])),
-                      static_cast<std::int32_t>(util::parse_int(f[11])));
+    try {
+      const auto& f = in.fields();
+      CGC_CHECK_MSG(f.size() >= 12,
+                    "host_usage row too short (truncated record?)");
+      const std::int64_t machine_id = util::parse_int(f[0]);
+      const TimeSec time = util::parse_int(f[1]);
+      auto [it, inserted] = series.try_emplace(
+          machine_id, machine_id, time, util::kSamplePeriod);
+      const float cpu[kNumBands] = {
+          static_cast<float>(util::parse_double(f[2])),
+          static_cast<float>(util::parse_double(f[3])),
+          static_cast<float>(util::parse_double(f[4]))};
+      const float mem[kNumBands] = {
+          static_cast<float>(util::parse_double(f[5])),
+          static_cast<float>(util::parse_double(f[6])),
+          static_cast<float>(util::parse_double(f[7]))};
+      it->second.append(cpu, mem, static_cast<float>(util::parse_double(f[8])),
+                        static_cast<float>(util::parse_double(f[9])),
+                        static_cast<std::int32_t>(util::parse_int(f[10])),
+                        static_cast<std::int32_t>(util::parse_int(f[11])));
+    } catch (const util::Error& e) {
+      util::throw_parse_error(path, in.line_number(), e.what());
+    }
   }
   for (auto& [id, s] : series) {
     trace->add_host_load(std::move(s));

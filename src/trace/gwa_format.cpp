@@ -41,46 +41,50 @@ TraceSet read_gwa(const std::string& path, const std::string& system_name) {
       }
       fields.push_back(std::string_view(line).substr(start, i - start));
     }
-    CGC_CHECK_MSG(fields.size() >= 11,
-                  path + ": GWA row needs >= 11 fields at line " +
-                      std::to_string(line_number));
+    try {
+      CGC_CHECK_MSG(fields.size() >= 11,
+                    "GWA row needs >= 11 fields (truncated record?)");
 
-    const std::int64_t job_id = util::parse_int(fields[0]);
-    const std::int64_t submit = util::parse_int(fields[1]);
-    const std::int64_t wait = util::parse_int(fields[2]);
-    const double run_time = util::parse_double(fields[3]);
-    const std::int64_t procs = util::parse_int(fields[4]);
-    const double used_mem_kb = util::parse_double(fields[6]);
-    const std::int64_t status = util::parse_int(fields[10]);
+      const std::int64_t job_id = util::parse_int(fields[0]);
+      const std::int64_t submit = util::parse_int(fields[1]);
+      const std::int64_t wait = util::parse_int(fields[2]);
+      const double run_time = util::parse_double(fields[3]);
+      const std::int64_t procs = util::parse_int(fields[4]);
+      const double used_mem_kb = util::parse_double(fields[6]);
+      const std::int64_t status = util::parse_int(fields[10]);
 
-    Job job;
-    job.job_id = job_id;
-    job.priority = 1;
-    job.submit_time = submit;
-    const TimeSec wait_s = wait < 0 ? 0 : wait;
-    job.end_time = run_time >= 0.0
-                       ? submit + wait_s + static_cast<TimeSec>(run_time)
-                       : -1;
-    job.num_tasks = 1;
-    job.cpu_parallelism = procs > 0 ? static_cast<float>(procs) : 1.0f;
-    job.mem_usage =
-        used_mem_kb > 0.0 ? static_cast<float>(used_mem_kb / 1024.0) : 0.0f;
-    trace.add_job(job);
+      Job job;
+      job.job_id = job_id;
+      job.priority = 1;
+      job.submit_time = submit;
+      const TimeSec wait_s = wait < 0 ? 0 : wait;
+      job.end_time = run_time >= 0.0
+                         ? submit + wait_s + static_cast<TimeSec>(run_time)
+                         : -1;
+      job.num_tasks = 1;
+      job.cpu_parallelism = procs > 0 ? static_cast<float>(procs) : 1.0f;
+      job.mem_usage =
+          used_mem_kb > 0.0 ? static_cast<float>(used_mem_kb / 1024.0) : 0.0f;
+      trace.add_job(job);
 
-    Task task;
-    task.job_id = job_id;
-    task.task_index = 0;
-    task.priority = 1;
-    task.submit_time = submit;
-    task.schedule_time = run_time >= 0.0 ? submit + wait_s : -1;
-    task.end_time = job.end_time;
-    task.end_event =
-        status == 1 ? TaskEventType::kFinish : TaskEventType::kFail;
-    task.cpu_request = job.cpu_parallelism;
-    task.cpu_usage = job.cpu_parallelism;
-    task.mem_usage = job.mem_usage;
-    trace.add_task(task);
+      Task task;
+      task.job_id = job_id;
+      task.task_index = 0;
+      task.priority = 1;
+      task.submit_time = submit;
+      task.schedule_time = run_time >= 0.0 ? submit + wait_s : -1;
+      task.end_time = job.end_time;
+      task.end_event =
+          status == 1 ? TaskEventType::kFinish : TaskEventType::kFail;
+      task.cpu_request = job.cpu_parallelism;
+      task.cpu_usage = job.cpu_parallelism;
+      task.mem_usage = job.mem_usage;
+      trace.add_task(task);
+    } catch (const util::Error& e) {
+      util::throw_parse_error(path, line_number, e.what());
+    }
   }
+  CGC_CHECK_MSG(!in.bad(), "I/O error while reading " + path);
   trace.finalize();
   return trace;
 }

@@ -29,6 +29,15 @@ class HostLoadSeries {
               const float mem_by_band[kNumBands], float mem_assigned,
               float page_cache, std::int32_t running, std::int32_t pending);
 
+  /// Appends a block of samples from parallel columns, all of the same
+  /// length (bulk path for columnar deserialization).
+  void append_samples(const std::span<const float> cpu_by_band[kNumBands],
+                      const std::span<const float> mem_by_band[kNumBands],
+                      std::span<const float> mem_assigned,
+                      std::span<const float> page_cache,
+                      std::span<const std::int32_t> running,
+                      std::span<const std::int32_t> pending);
+
   std::int64_t machine_id() const { return machine_id_; }
   TimeSec start() const { return start_; }
   TimeSec period() const { return period_; }
@@ -58,6 +67,19 @@ class HostLoadSeries {
   std::int32_t pending(std::size_t i) const { return pending_[i]; }
 
   std::span<const std::int32_t> running_counts() const { return running_; }
+  std::span<const std::int32_t> pending_counts() const { return pending_; }
+
+  // Raw per-metric columns (columnar serialization in cgc::store).
+  std::span<const float> cpu_band(PriorityBand band) const {
+    return cpu_[static_cast<std::size_t>(band)];
+  }
+  std::span<const float> mem_band(PriorityBand band) const {
+    return mem_[static_cast<std::size_t>(band)];
+  }
+  std::span<const float> mem_assigned_samples() const {
+    return mem_assigned_;
+  }
+  std::span<const float> page_cache_samples() const { return page_cache_; }
 
   /// Relative usage series (usage / capacity, clamped to [0,1]) for
   /// bands >= min_band. capacity must be positive.

@@ -51,51 +51,55 @@ TraceSet read_swf(const std::string& path, const std::string& system_name) {
       continue;
     }
     split_ws(line, &fields);
-    CGC_CHECK_MSG(fields.size() >= 18,
-                  path + ": SWF row needs 18 fields at line " +
-                      std::to_string(line_number));
-    const std::int64_t job_number = util::parse_int(fields[0]);
-    const std::int64_t submit = util::parse_int(fields[1]);
-    const std::int64_t wait = util::parse_int(fields[2]);
-    const double run_time = util::parse_double(fields[3]);
-    const std::int64_t procs = util::parse_int(fields[4]);
-    const double used_mem_kb = util::parse_double(fields[6]);
-    const std::int64_t status = util::parse_int(fields[10]);
-    const std::int64_t user = util::parse_int(fields[11]);
+    try {
+      CGC_CHECK_MSG(fields.size() >= 18,
+                    "SWF row needs 18 fields (truncated record?)");
+      const std::int64_t job_number = util::parse_int(fields[0]);
+      const std::int64_t submit = util::parse_int(fields[1]);
+      const std::int64_t wait = util::parse_int(fields[2]);
+      const double run_time = util::parse_double(fields[3]);
+      const std::int64_t procs = util::parse_int(fields[4]);
+      const double used_mem_kb = util::parse_double(fields[6]);
+      const std::int64_t status = util::parse_int(fields[10]);
+      const std::int64_t user = util::parse_int(fields[11]);
 
-    Job job;
-    job.job_id = job_number;
-    job.user_id = user < 0 ? 0 : user;
-    job.priority = 1;  // SWF has no Google-style priority
-    job.submit_time = submit;
-    const bool has_runtime = run_time >= 0.0;
-    const TimeSec wait_s = wait < 0 ? 0 : wait;
-    job.end_time = has_runtime
-                       ? submit + wait_s + static_cast<TimeSec>(run_time)
-                       : -1;
-    job.num_tasks = 1;
-    job.cpu_parallelism = procs > 0 ? static_cast<float>(procs) : 1.0f;
-    job.mem_usage = used_mem_kb > 0.0
-                        ? static_cast<float>(used_mem_kb *
-                                             job.cpu_parallelism / 1024.0)
-                        : 0.0f;
-    trace.add_job(job);
+      Job job;
+      job.job_id = job_number;
+      job.user_id = user < 0 ? 0 : user;
+      job.priority = 1;  // SWF has no Google-style priority
+      job.submit_time = submit;
+      const bool has_runtime = run_time >= 0.0;
+      const TimeSec wait_s = wait < 0 ? 0 : wait;
+      job.end_time = has_runtime
+                         ? submit + wait_s + static_cast<TimeSec>(run_time)
+                         : -1;
+      job.num_tasks = 1;
+      job.cpu_parallelism = procs > 0 ? static_cast<float>(procs) : 1.0f;
+      job.mem_usage = used_mem_kb > 0.0
+                          ? static_cast<float>(used_mem_kb *
+                                               job.cpu_parallelism / 1024.0)
+                          : 0.0f;
+      trace.add_job(job);
 
-    Task task;
-    task.job_id = job_number;
-    task.task_index = 0;
-    task.priority = 1;
-    task.submit_time = submit;
-    task.schedule_time = has_runtime ? submit + wait_s : -1;
-    task.end_time = job.end_time;
-    // SWF status 1 = completed OK; 0/5 = failed/cancelled.
-    task.end_event =
-        status == 1 ? TaskEventType::kFinish : TaskEventType::kKill;
-    task.cpu_request = job.cpu_parallelism;
-    task.cpu_usage = job.cpu_parallelism;
-    task.mem_usage = job.mem_usage;
-    trace.add_task(task);
+      Task task;
+      task.job_id = job_number;
+      task.task_index = 0;
+      task.priority = 1;
+      task.submit_time = submit;
+      task.schedule_time = has_runtime ? submit + wait_s : -1;
+      task.end_time = job.end_time;
+      // SWF status 1 = completed OK; 0/5 = failed/cancelled.
+      task.end_event =
+          status == 1 ? TaskEventType::kFinish : TaskEventType::kKill;
+      task.cpu_request = job.cpu_parallelism;
+      task.cpu_usage = job.cpu_parallelism;
+      task.mem_usage = job.mem_usage;
+      trace.add_task(task);
+    } catch (const util::Error& e) {
+      util::throw_parse_error(path, line_number, e.what());
+    }
   }
+  CGC_CHECK_MSG(!in.bad(), "I/O error while reading " + path);
   trace.finalize();
   return trace;
 }

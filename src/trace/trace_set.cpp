@@ -32,20 +32,62 @@ void TraceSet::add_host_load(HostLoadSeries series) {
   finalized_ = false;
 }
 
+void TraceSet::adopt_jobs(std::vector<Job> jobs) {
+  jobs_ = std::move(jobs);
+  finalized_ = false;
+}
+
+void TraceSet::adopt_tasks(std::vector<Task> tasks) {
+  tasks_ = std::move(tasks);
+  finalized_ = false;
+}
+
+void TraceSet::adopt_events(std::vector<TaskEvent> events) {
+  events_ = std::move(events);
+  finalized_ = false;
+}
+
+void TraceSet::adopt_machines(std::vector<Machine> machines) {
+  machines_ = std::move(machines);
+  finalized_ = false;
+}
+
+void TraceSet::adopt_host_load(std::vector<HostLoadSeries> series) {
+  host_load_ = std::move(series);
+  finalized_ = false;
+}
+
 void TraceSet::finalize() {
-  std::stable_sort(events_.begin(), events_.end(),
-                   [](const TaskEvent& a, const TaskEvent& b) {
-                     return a.time < b.time;
-                   });
-  std::sort(tasks_.begin(), tasks_.end(), [](const Task& a, const Task& b) {
+  // Each sort is skipped when the data is already ordered: already-final
+  // inputs (columnar store round-trips, re-finalize after set_duration)
+  // then pay one linear scan instead of a full sort.
+  const auto event_less = [](const TaskEvent& a, const TaskEvent& b) {
+    return a.time < b.time;
+  };
+  if (!std::is_sorted(events_.begin(), events_.end(), event_less)) {
+    std::stable_sort(events_.begin(), events_.end(), event_less);
+  }
+  const auto task_less = [](const Task& a, const Task& b) {
     if (a.job_id != b.job_id) {
       return a.job_id < b.job_id;
     }
     return a.task_index < b.task_index;
-  });
-  std::sort(jobs_.begin(), jobs_.end(), [](const Job& a, const Job& b) {
-    return a.submit_time < b.submit_time;
-  });
+  };
+  if (!std::is_sorted(tasks_.begin(), tasks_.end(), task_less)) {
+    std::sort(tasks_.begin(), tasks_.end(), task_less);
+  }
+  // Tie-break on job_id so the order is deterministic regardless of
+  // insertion order (round-trips through the columnar store reproduce
+  // the exact vector).
+  const auto job_less = [](const Job& a, const Job& b) {
+    if (a.submit_time != b.submit_time) {
+      return a.submit_time < b.submit_time;
+    }
+    return a.job_id < b.job_id;
+  };
+  if (!std::is_sorted(jobs_.begin(), jobs_.end(), job_less)) {
+    std::sort(jobs_.begin(), jobs_.end(), job_less);
+  }
 
   machine_index_.clear();
   for (std::size_t i = 0; i < machines_.size(); ++i) {

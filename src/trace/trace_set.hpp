@@ -55,6 +55,15 @@ class TraceSet {
   void reserve_tasks(std::size_t n) { tasks_.reserve(n); }
   void reserve_events(std::size_t n) { events_.reserve(n); }
 
+  /// Bulk adoption: replaces a section wholesale (no per-record copy).
+  /// Used by the columnar store reader, which decodes whole sections at
+  /// once. finalize() must still be called afterwards.
+  void adopt_jobs(std::vector<Job> jobs);
+  void adopt_tasks(std::vector<Task> tasks);
+  void adopt_events(std::vector<TaskEvent> events);
+  void adopt_machines(std::vector<Machine> machines);
+  void adopt_host_load(std::vector<HostLoadSeries> series);
+
   /// Sorts events by time, tasks by (job, index), and builds lookup
   /// indices. Must be called after bulk mutation, before queries below.
   void finalize();

@@ -47,6 +47,11 @@ std::optional<double> parse_optional_double(std::string_view field) {
   return parse_double(field);
 }
 
+void throw_parse_error(const std::string& path, std::size_t line_number,
+                       const std::string& what) {
+  throw Error(path + ":" + std::to_string(line_number) + ": " + what);
+}
+
 CsvReader::CsvReader(const std::string& path, char sep)
     : path_(path), in_(path), sep_(sep) {
   CGC_CHECK_MSG(in_.good(), "cannot open file for reading: " + path);
@@ -64,6 +69,9 @@ bool CsvReader::next_record() {
     split_fields(line_, sep_, &fields_);
     return true;
   }
+  // getline() failing can mean clean EOF or a stream error; only the
+  // former may end the file silently.
+  CGC_CHECK_MSG(!in_.bad(), "I/O error while reading " + path_);
   return false;
 }
 

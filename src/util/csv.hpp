@@ -30,6 +30,14 @@ double parse_double(std::string_view field);
 /// Parses a double field that may be empty; empty -> nullopt.
 std::optional<double> parse_optional_double(std::string_view field);
 
+/// Throws cgc::util::Error with "path:line: what". Format readers wrap
+/// field-level failures with this so a truncated or garbled record (for
+/// example a final row cut off mid-write) reports the offending row
+/// instead of a bare field message.
+[[noreturn]] void throw_parse_error(const std::string& path,
+                                    std::size_t line_number,
+                                    const std::string& what);
+
 /// Streaming CSV reader over a file. Usage:
 ///   CsvReader r(path);
 ///   while (r.next_record()) { use r.fields(); }

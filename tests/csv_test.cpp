@@ -135,6 +135,29 @@ TEST_F(CsvTest, LineNumbersTrackRecords) {
   EXPECT_EQ(reader.line_number(), 3u);
 }
 
+TEST(ThrowParseError, IncludesPathAndLine) {
+  try {
+    throw_parse_error("trace.csv", 42, "bad integer field: 'x'");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "trace.csv:42: bad integer field: 'x'");
+  }
+}
+
+TEST_F(CsvTest, NoTrailingNewlineStillParsesLastRecord) {
+  const std::string p = path("notrail.csv");
+  {
+    std::ofstream out(p, std::ios::binary);
+    out << "1,2\n3,4";  // final record lacks '\n'
+  }
+  CsvReader reader(p);
+  ASSERT_TRUE(reader.next_record());
+  ASSERT_TRUE(reader.next_record());
+  EXPECT_EQ(reader.fields()[1], "4");
+  EXPECT_FALSE(reader.next_record());
+}
+
 TEST(FormatDouble, RoundTripsPrecision) {
   EXPECT_EQ(format_double(0.25), "0.25");
   EXPECT_EQ(format_double(1234567.0), "1234567");

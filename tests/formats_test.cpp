@@ -217,6 +217,104 @@ TEST_F(FormatsTest, GwaSkipsHeaderComments) {
   EXPECT_EQ(loaded.jobs()[0].length(), 110);
 }
 
+TEST_F(FormatsTest, GoogleTruncatedFinalRecordReportsLine) {
+  const TraceSet original = make_event_trace();
+  const std::string dir = path("trunc_trace");
+  write_google_trace(original, dir);
+  // Simulate a copy cut off mid-write: append a final record that stops
+  // partway through its fields.
+  {
+    std::ofstream out(dir + "/task_events.csv", std::ios::app);
+    out << "999000000,,42,0";  // 4 of the >= 9 required fields
+  }
+  try {
+    read_google_trace(dir, "trunc");
+    FAIL() << "expected Error for truncated record";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("task_events.csv:"), std::string::npos) << what;
+    EXPECT_NE(what.find("too short"), std::string::npos) << what;
+  }
+}
+
+TEST_F(FormatsTest, GoogleGarbledFieldReportsPathAndLine) {
+  const TraceSet original = make_event_trace();
+  const std::string dir = path("garbled_trace");
+  write_google_trace(original, dir);
+  {
+    std::ofstream out(dir + "/task_events.csv", std::ios::app);
+    out << "not_a_number,,1,0,,0,,0,1\n";
+  }
+  try {
+    read_google_trace(dir, "garbled");
+    FAIL() << "expected Error for garbled field";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("task_events.csv:"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad integer"), std::string::npos) << what;
+  }
+}
+
+TEST_F(FormatsTest, GoogleCrLfTraceParses) {
+  const TraceSet original = make_event_trace();
+  const std::string dir = path("crlf_trace");
+  write_google_trace(original, dir);
+  // Rewrite every file with CRLF line endings (as from a Windows unzip).
+  for (const char* name :
+       {"task_events.csv", "machine_events.csv", "host_usage.csv"}) {
+    const std::string p = dir + "/" + name;
+    std::string contents;
+    {
+      std::ifstream in(p, std::ios::binary);
+      std::string line;
+      while (std::getline(in, line)) {
+        contents += line + "\r\n";
+      }
+    }
+    std::ofstream(p, std::ios::binary) << contents;
+  }
+  const TraceSet loaded = read_google_trace(dir, "crlf");
+  EXPECT_EQ(loaded.events().size(), original.events().size());
+  EXPECT_EQ(loaded.machines().size(), original.machines().size());
+  ASSERT_NE(loaded.host_load_for(3), nullptr);
+  EXPECT_EQ(loaded.host_load_for(3)->size(), 2u);
+}
+
+TEST_F(FormatsTest, SwfTruncatedFinalRecordReportsLine) {
+  const std::string p = path("trunc.swf");
+  {
+    std::ofstream out(p, std::ios::binary);
+    out << "; header\n";
+    out << "1 0 30 3600 4 -1 102400 4 7200 -1 1 12 -1 -1 1 -1 -1 -1\n";
+    out << "2 100 -1 -1 1 -1";  // cut off mid-record
+  }
+  try {
+    read_swf(p, "trunc");
+    FAIL() << "expected Error for truncated record";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":3:"), std::string::npos) << what;
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  }
+}
+
+TEST_F(FormatsTest, GwaTruncatedFinalRecordReportsLine) {
+  const std::string p = path("trunc.gwf");
+  {
+    std::ofstream out(p, std::ios::binary);
+    out << "7 0 10 100 1 -1 -1 1 -1 -1 1\n";
+    out << "8 5 10 100";  // cut off mid-record
+  }
+  try {
+    read_gwa(p, "trunc");
+    FAIL() << "expected Error for truncated record";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":2:"), std::string::npos) << what;
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  }
+}
+
 TEST_F(FormatsTest, RebuildHandlesUnfinishedTasks) {
   TraceSet trace("partial");
   trace.add_event({10, 1, 0, -1, TaskEventType::kSubmit, 1});

@@ -1,0 +1,465 @@
+// Tests for the CGCS columnar trace store: lossless round-trips,
+// zone-map pushdown, zero-copy spans, and rejection of corrupted files.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/google_model.hpp"
+#include "store/cgcs_format.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "trace/trace_set.hpp"
+#include "util/check.hpp"
+
+namespace cgc::store {
+namespace {
+
+using trace::HostLoadSeries;
+using trace::Job;
+using trace::kNumBands;
+using trace::Machine;
+using trace::PriorityBand;
+using trace::Task;
+using trace::TaskEvent;
+using trace::TaskEventType;
+using trace::TraceSet;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cgc_store_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+/// A small but fully populated Google-model trace: generated jobs and
+/// tasks, per-task synthetic events, a heterogeneous machine park, and
+/// host-load series. Deterministic (fixed model seed, LCG samples).
+TraceSet make_model_trace() {
+  gen::GoogleModelConfig config;
+  config.seed = 7;
+  const gen::GoogleWorkloadModel model(config);
+  TraceSet trace = model.generate_workload(/*horizon=*/2 * 3600);
+
+  for (const Machine& m : model.make_machines(16)) {
+    trace.add_machine(m);
+  }
+
+  // Events derived from the task records (SUBMIT/SCHEDULE/terminal), so
+  // every event column gets realistic, varied values.
+  for (const Task& t : trace.tasks()) {
+    trace.add_event({t.submit_time, t.job_id, t.task_index, -1,
+                     TaskEventType::kSubmit, t.priority});
+    if (t.schedule_time >= 0) {
+      trace.add_event({t.schedule_time, t.job_id, t.task_index, t.machine_id,
+                       TaskEventType::kSchedule, t.priority});
+    }
+    if (t.end_time >= 0) {
+      trace.add_event({t.end_time, t.job_id, t.task_index, t.machine_id,
+                       t.end_event, t.priority});
+    }
+  }
+
+  std::uint64_t lcg = 0x243F6A8885A308D3ull;
+  const auto next_float = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<float>(lcg >> 40) / static_cast<float>(1u << 24);
+  };
+  for (std::int64_t machine_id = 0; machine_id < 16; ++machine_id) {
+    HostLoadSeries h(machine_id, /*start=*/300, /*period=*/300);
+    for (int i = 0; i < 40; ++i) {
+      const float cpu[kNumBands] = {next_float(), next_float(), next_float()};
+      const float mem[kNumBands] = {next_float(), next_float(), next_float()};
+      h.append(cpu, mem, next_float(), next_float(),
+               static_cast<std::int32_t>(lcg % 50),
+               static_cast<std::int32_t>(lcg % 7));
+    }
+    trace.add_host_load(std::move(h));
+  }
+  trace.finalize();
+  return trace;
+}
+
+void expect_equal(const TaskEvent& a, const TaskEvent& b) {
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.job_id, b.job_id);
+  EXPECT_EQ(a.task_index, b.task_index);
+  EXPECT_EQ(a.machine_id, b.machine_id);
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.priority, b.priority);
+}
+
+void expect_equal_traces(const TraceSet& a, const TraceSet& b) {
+  EXPECT_EQ(a.system_name(), b.system_name());
+  EXPECT_EQ(a.duration(), b.duration());
+  EXPECT_EQ(a.memory_in_mb(), b.memory_in_mb());
+
+  ASSERT_EQ(a.jobs().size(), b.jobs().size());
+  for (std::size_t i = 0; i < a.jobs().size(); ++i) {
+    const Job& x = a.jobs()[i];
+    const Job& y = b.jobs()[i];
+    EXPECT_EQ(x.job_id, y.job_id);
+    EXPECT_EQ(x.user_id, y.user_id);
+    EXPECT_EQ(x.priority, y.priority);
+    EXPECT_EQ(x.submit_time, y.submit_time);
+    EXPECT_EQ(x.end_time, y.end_time);
+    EXPECT_EQ(x.num_tasks, y.num_tasks);
+    EXPECT_EQ(x.cpu_parallelism, y.cpu_parallelism);  // bit-exact
+    EXPECT_EQ(x.mem_usage, y.mem_usage);
+  }
+
+  ASSERT_EQ(a.tasks().size(), b.tasks().size());
+  for (std::size_t i = 0; i < a.tasks().size(); ++i) {
+    const Task& x = a.tasks()[i];
+    const Task& y = b.tasks()[i];
+    EXPECT_EQ(x.job_id, y.job_id);
+    EXPECT_EQ(x.task_index, y.task_index);
+    EXPECT_EQ(x.priority, y.priority);
+    EXPECT_EQ(x.submit_time, y.submit_time);
+    EXPECT_EQ(x.schedule_time, y.schedule_time);
+    EXPECT_EQ(x.end_time, y.end_time);
+    EXPECT_EQ(x.end_event, y.end_event);
+    EXPECT_EQ(x.machine_id, y.machine_id);
+    EXPECT_EQ(x.resubmits, y.resubmits);
+    EXPECT_EQ(x.cpu_request, y.cpu_request);
+    EXPECT_EQ(x.mem_request, y.mem_request);
+    EXPECT_EQ(x.cpu_usage, y.cpu_usage);
+    EXPECT_EQ(x.mem_usage, y.mem_usage);
+  }
+
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    expect_equal(a.events()[i], b.events()[i]);
+  }
+
+  ASSERT_EQ(a.machines().size(), b.machines().size());
+  for (std::size_t i = 0; i < a.machines().size(); ++i) {
+    const Machine& x = a.machines()[i];
+    const Machine& y = b.machines()[i];
+    EXPECT_EQ(x.machine_id, y.machine_id);
+    EXPECT_EQ(x.cpu_capacity, y.cpu_capacity);
+    EXPECT_EQ(x.mem_capacity, y.mem_capacity);
+    EXPECT_EQ(x.page_cache_capacity, y.page_cache_capacity);
+    EXPECT_EQ(x.attributes, y.attributes);
+  }
+
+  ASSERT_EQ(a.host_load().size(), b.host_load().size());
+  for (std::size_t i = 0; i < a.host_load().size(); ++i) {
+    const HostLoadSeries& x = a.host_load()[i];
+    const HostLoadSeries& y = b.host_load()[i];
+    EXPECT_EQ(x.machine_id(), y.machine_id());
+    EXPECT_EQ(x.start(), y.start());
+    EXPECT_EQ(x.period(), y.period());
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t s = 0; s < x.size(); ++s) {
+      for (const PriorityBand band :
+           {PriorityBand::kLow, PriorityBand::kMid, PriorityBand::kHigh}) {
+        EXPECT_EQ(x.cpu(band, s), y.cpu(band, s));
+        EXPECT_EQ(x.mem(band, s), y.mem(band, s));
+      }
+      EXPECT_EQ(x.mem_assigned(s), y.mem_assigned(s));
+      EXPECT_EQ(x.page_cache(s), y.page_cache(s));
+      EXPECT_EQ(x.running(s), y.running(s));
+      EXPECT_EQ(x.pending(s), y.pending(s));
+    }
+  }
+}
+
+TEST_F(StoreTest, RoundTripsGoogleModelTrace) {
+  const TraceSet original = make_model_trace();
+  ASSERT_GT(original.jobs().size(), 100u);
+  ASSERT_GT(original.events().size(), 100u);
+  const std::string p = path("model.cgcs");
+  write_cgcs(original, p);
+
+  const TraceSet loaded = read_cgcs(p);
+  expect_equal_traces(original, loaded);
+}
+
+TEST_F(StoreTest, RoundTripsWithTinyChunks) {
+  // rows_per_chunk far below the section sizes exercises multi-chunk
+  // sections, delta restarts at chunk boundaries, and the scatter paths.
+  const TraceSet original = make_model_trace();
+  const std::string p = path("tiny_chunks.cgcs");
+  WriteOptions options;
+  options.chunks.rows_per_chunk = 7;
+  write_cgcs(original, p, options);
+
+  const StoreReader reader(p);
+  EXPECT_GT(reader.chunks().size(), 100u);
+  expect_equal_traces(original, reader.load_trace_set());
+}
+
+TEST_F(StoreTest, RoundTripsEmptyHostLoadGridTrace) {
+  // Grid archives (SWF/GWA) have jobs and tasks only; machines,
+  // events, and host-load stay empty and memory lands in MB.
+  TraceSet original("grid-das2");
+  original.set_memory_in_mb(true);
+  Job j;
+  j.job_id = 1;
+  j.submit_time = 100;
+  j.end_time = 500;
+  j.cpu_parallelism = 16.0f;
+  j.mem_usage = 2048.0f;
+  original.add_job(j);
+  Task t;
+  t.job_id = 1;
+  t.submit_time = 100;
+  t.schedule_time = 120;
+  t.end_time = 500;
+  t.cpu_request = 16.0f;
+  original.add_task(t);
+  original.set_duration(86400);
+  original.finalize();
+
+  const std::string p = path("grid.cgcs");
+  write_cgcs(original, p);
+  const TraceSet loaded = read_cgcs(p);
+  EXPECT_TRUE(loaded.memory_in_mb());
+  EXPECT_TRUE(loaded.machines().empty());
+  EXPECT_TRUE(loaded.host_load().empty());
+  EXPECT_TRUE(loaded.events().empty());
+  expect_equal_traces(original, loaded);
+}
+
+TEST_F(StoreTest, RoundTripsEmptyTrace) {
+  TraceSet original("empty");
+  original.set_duration(10);
+  original.finalize();
+  const std::string p = path("empty.cgcs");
+  write_cgcs(original, p);
+  const TraceSet loaded = read_cgcs(p);
+  EXPECT_EQ(loaded.system_name(), "empty");
+  EXPECT_EQ(loaded.duration(), 10);
+  EXPECT_TRUE(loaded.jobs().empty());
+  EXPECT_TRUE(loaded.events().empty());
+}
+
+TEST_F(StoreTest, StoreInfoMatchesTraceSummary) {
+  const TraceSet original = make_model_trace();
+  const std::string p = path("info.cgcs");
+  write_cgcs(original, p);
+  const StoreReader reader(p);
+  const StoreInfo& info = reader.info();
+  EXPECT_EQ(info.system_name, original.system_name());
+  EXPECT_EQ(info.duration, original.duration());
+  EXPECT_EQ(info.num_jobs, original.jobs().size());
+  EXPECT_EQ(info.num_tasks, original.tasks().size());
+  EXPECT_EQ(info.num_events, original.events().size());
+  EXPECT_EQ(info.num_machines, original.machines().size());
+  EXPECT_EQ(info.num_hostload_series, original.host_load().size());
+  EXPECT_EQ(info.file_size, std::filesystem::file_size(p));
+}
+
+TEST_F(StoreTest, ZeroCopySpansExposeRawColumns) {
+  const TraceSet original = make_model_trace();
+  const std::string p = path("spans.cgcs");
+  write_cgcs(original, p);
+  const StoreReader reader(p);
+
+  const auto chunks =
+      reader.column_chunks(SectionId::kMachines, ColumnId::kCpuCapacity);
+  ASSERT_EQ(chunks.size(), 1u);
+  const std::span<const float> cpu = reader.f32_span(*chunks[0]);
+  ASSERT_EQ(cpu.size(), original.machines().size());
+  for (std::size_t i = 0; i < cpu.size(); ++i) {
+    EXPECT_EQ(cpu[i], original.machines()[i].cpu_capacity);
+  }
+
+  const auto pri_chunks =
+      reader.column_chunks(SectionId::kEvents, ColumnId::kPriority);
+  ASSERT_FALSE(pri_chunks.empty());
+  std::size_t row = 0;
+  for (const ChunkMeta* chunk : pri_chunks) {
+    for (const std::uint8_t v : reader.u8_span(*chunk)) {
+      EXPECT_EQ(v, original.events()[row++].priority);
+    }
+  }
+  EXPECT_EQ(row, original.events().size());
+}
+
+TEST_F(StoreTest, ZoneMapPruningMatchesBruteForce) {
+  const TraceSet original = make_model_trace();
+  const std::string p = path("prune.cgcs");
+  WriteOptions options;
+  options.chunks.rows_per_chunk = 64;  // many row groups to prune
+  write_cgcs(original, p, options);
+  const StoreReader reader(p);
+
+  EventPredicate window;
+  window.time_min = original.duration() / 4;
+  window.time_max = original.duration() / 2;
+
+  std::vector<TaskEvent> scanned;
+  const ScanStats stats =
+      reader.scan(window, [&](std::span<const TaskEvent> batch) {
+        scanned.insert(scanned.end(), batch.begin(), batch.end());
+      });
+
+  std::vector<TaskEvent> expected;
+  for (const TaskEvent& e : original.events()) {
+    if (window.matches(e)) {
+      expected.push_back(e);
+    }
+  }
+  ASSERT_EQ(scanned.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expect_equal(scanned[i], expected[i]);
+  }
+
+  // Events are time-sorted, so a quarter-trace window must skip groups.
+  EXPECT_GT(stats.row_groups_total, 4u);
+  EXPECT_LT(stats.row_groups_scanned, stats.row_groups_total);
+  EXPECT_EQ(stats.rows_matched, expected.size());
+}
+
+TEST_F(StoreTest, JobIdPredicateFilters) {
+  const TraceSet original = make_model_trace();
+  const std::string p = path("jobid.cgcs");
+  write_cgcs(original, p);
+  const StoreReader reader(p);
+
+  const std::int64_t target = original.events()[0].job_id;
+  EventPredicate pred;
+  pred.job_id_min = target;
+  pred.job_id_max = target;
+  const std::vector<TaskEvent> got = reader.query_events(pred);
+  std::size_t expected = 0;
+  for (const TaskEvent& e : original.events()) {
+    expected += e.job_id == target ? 1 : 0;
+  }
+  EXPECT_EQ(got.size(), expected);
+  for (const TaskEvent& e : got) {
+    EXPECT_EQ(e.job_id, target);
+  }
+}
+
+TEST_F(StoreTest, OpenPredicateScansEverything) {
+  const TraceSet original = make_model_trace();
+  const std::string p = path("full.cgcs");
+  write_cgcs(original, p);
+  const StoreReader reader(p);
+  const ScanStats stats =
+      reader.scan(EventPredicate{}, [](std::span<const TaskEvent>) {});
+  EXPECT_EQ(stats.row_groups_scanned, stats.row_groups_total);
+  EXPECT_EQ(stats.rows_decoded, original.events().size());
+  EXPECT_EQ(stats.rows_matched, original.events().size());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption rejection
+// ---------------------------------------------------------------------------
+
+std::string slurp(const std::string& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void spit(const std::string& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class StoreCorruptionTest : public StoreTest {
+ protected:
+  void SetUp() override {
+    StoreTest::SetUp();
+    path_ = path("victim.cgcs");
+    TraceSet trace = make_model_trace();
+    write_cgcs(trace, path_);
+    bytes_ = slurp(path_);
+    ASSERT_GT(bytes_.size(), kHeaderSize + kTrailerSize);
+  }
+
+  void expect_rejected(const std::string& mutated,
+                       const std::string& expected_substr) {
+    spit(path_, mutated);
+    try {
+      const StoreReader reader(path_);
+      reader.load_trace_set();
+      FAIL() << "expected Error mentioning '" << expected_substr << "'";
+    } catch (const util::Error& e) {
+      EXPECT_NE(std::string(e.what()).find(expected_substr),
+                std::string::npos)
+          << e.what();
+    }
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(StoreCorruptionTest, RejectsBadMagic) {
+  std::string mutated = bytes_;
+  mutated[0] = 'X';
+  expect_rejected(mutated, "bad magic");
+}
+
+TEST_F(StoreCorruptionTest, RejectsUnsupportedVersion) {
+  std::string mutated = bytes_;
+  mutated[4] = 99;  // u32 format_version directly after the magic
+  expect_rejected(mutated, "unsupported format version");
+}
+
+TEST_F(StoreCorruptionTest, RejectsTruncatedFile) {
+  expect_rejected(bytes_.substr(0, bytes_.size() - 8), "bad end magic");
+}
+
+TEST_F(StoreCorruptionTest, RejectsFileShorterThanHeader) {
+  expect_rejected(bytes_.substr(0, 10), "shorter than header");
+}
+
+TEST_F(StoreCorruptionTest, RejectsFooterOffsetOutOfBounds) {
+  std::string mutated = bytes_;
+  // Trailer starts 16 bytes from the end with the u64 footer offset.
+  const std::size_t trailer = mutated.size() - kTrailerSize;
+  for (std::size_t i = 0; i < 8; ++i) {
+    mutated[trailer + i] = static_cast<char>(0xFF);
+  }
+  expect_rejected(mutated, "footer offset out of bounds");
+}
+
+TEST_F(StoreCorruptionTest, RejectsCorruptedFooter) {
+  std::string mutated = bytes_;
+  // Flip a byte a little before the trailer — inside the footer bytes.
+  mutated[mutated.size() - kTrailerSize - 4] ^= 0x40;
+  expect_rejected(mutated, "CRC");
+}
+
+TEST_F(StoreCorruptionTest, RejectsCorruptedChunkPayload) {
+  // Find a chunk payload via a healthy reader, then flip one byte in it.
+  std::size_t offset = 0;
+  {
+    const StoreReader reader(path_);
+    const ChunkMeta* victim = nullptr;
+    for (const ChunkMeta& c : reader.chunks()) {
+      if (c.payload_size > 0) {
+        victim = &c;
+        break;
+      }
+    }
+    ASSERT_NE(victim, nullptr);
+    offset = victim->offset;
+  }
+  std::string mutated = bytes_;
+  mutated[offset] ^= 0x01;
+  expect_rejected(mutated, "CRC");
+}
+
+TEST_F(StoreCorruptionTest, MissingFileThrows) {
+  EXPECT_THROW(StoreReader(path("does_not_exist.cgcs")), util::Error);
+}
+
+}  // namespace
+}  // namespace cgc::store
