@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "registry.hpp"
 #include "gen/arrival.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/fairness.hpp"
@@ -26,7 +27,8 @@ std::vector<double> hourly_counts(
 
 }  // namespace
 
-int main() {
+CGC_BENCH("ablation_arrival", "bench_ablation_arrival", cgc::bench::CaseKind::kAblation,
+          "Arrival process ablation (DESIGN.md §5)") {
   using namespace cgc;
   bench::print_header("ablation_arrival",
                       "Arrival process ablation (DESIGN.md §5)");
@@ -89,5 +91,4 @@ int main() {
   std::printf("expected: fairness collapses from ~1.0 (Poisson, the Cloud "
               "regime of\nTable I) toward the 0.04-0.5 Grid regime as "
               "diurnal modulation and\nlognormal bursts are layered in.\n");
-  return 0;
 }

@@ -10,11 +10,13 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "registry.hpp"
 #include "sim/cluster_sim.hpp"
 #include "stats/descriptive.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("ablation_constraints", "bench_ablation_constraints", cgc::bench::CaseKind::kAblation,
+          "Placement-constraint ablation (extension)") {
   using namespace cgc;
   bench::print_header("ablation_constraints",
                       "Placement-constraint ablation (extension)");
@@ -57,5 +59,4 @@ int main() {
       "their attribute (density %.0f%%), so effective capacity shrinks\n"
       "(Sharma et al.'s utilization impact, reproduced).\n",
       gen::GoogleModelConfig{}.machine_attribute_density * 100.0);
-  return 0;
 }

@@ -7,11 +7,13 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "registry.hpp"
 #include "sim/cluster_sim.hpp"
 #include "stats/descriptive.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("ablation_placement", "bench_ablation_placement", cgc::bench::CaseKind::kAblation,
+          "Placement policy ablation (DESIGN.md §5)") {
   using namespace cgc;
   bench::print_header("ablation_placement",
                       "Placement policy ablation (DESIGN.md §5)");
@@ -59,5 +61,4 @@ int main() {
       "expected: balanced/worst-fit spread load (small cross-machine "
       "stddev);\nfirst-fit/best-fit pack it (large stddev, more eviction "
       "hot-spots).\n");
-  return 0;
 }

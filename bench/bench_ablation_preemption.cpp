@@ -7,11 +7,13 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "registry.hpp"
 #include "sim/cluster_sim.hpp"
 #include "stats/descriptive.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("ablation_preemption", "bench_ablation_preemption", cgc::bench::CaseKind::kAblation,
+          "Preemption ablation (DESIGN.md §5)") {
   using namespace cgc;
   bench::print_header("ablation_preemption",
                       "Preemption ablation (DESIGN.md §5)");
@@ -70,5 +72,4 @@ int main() {
   std::printf("expected: preemption trades low-priority evictions for "
               "near-zero\nhigh-priority waiting (the paper's 'high "
               "priority tasks can preempt').\n");
-  return 0;
 }

@@ -8,12 +8,14 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "registry.hpp"
 #include "stats/distributions.hpp"
 #include "stats/mass_count.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("ablation_tail", "bench_ablation_tail", cgc::bench::CaseKind::kAblation,
+          "Task-length tail ablation (DESIGN.md §5)") {
   using namespace cgc;
   bench::print_header("ablation_tail",
                       "Task-length tail ablation (DESIGN.md §5)");
@@ -72,5 +74,4 @@ int main() {
   std::printf("expected: without the Pareto tail the joint ratio decays "
               "toward\n~25/75 and the mean collapses to minutes — the "
               "paper's 6/94 @ 5.6 h\nrequires the heavy-tailed mixture.\n");
-  return 0;
 }

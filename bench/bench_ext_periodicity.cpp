@@ -12,16 +12,18 @@
 
 #include "analysis/periodicity_analyzer.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "core/characterization.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("ext_periodicity", "bench_ext_periodicity", cgc::bench::CaseKind::kExtension,
+          "Host-load periodicity, Cloud vs Grid (extension)") {
   using namespace cgc;
   bench::print_header("ext_periodicity",
                       "Host-load periodicity, Cloud vs Grid (extension)");
 
-  const trace::TraceSet google = bench::google_hostload();
-  const trace::TraceSet auvergrid = bench::grid_hostload("AuverGrid");
+  const trace::TraceSet& google = bench::google_hostload();
+  const trace::TraceSet& auvergrid = bench::grid_hostload("AuverGrid");
 
   // Utilization sweep for the grid: saturation vs slack.
   const util::TimeSec horizon = bench::hostload_horizon();
@@ -90,5 +92,4 @@ int main() {
                                                                : "VIOLATED",
               grid_prom, grid_idle_prom, cloud_prom);
   bench::print_series_note("ext_acf_<system>_<metric>_mean_acf.dat");
-  return 0;
 }

@@ -7,15 +7,17 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "registry.hpp"
 #include "predict/evaluation.hpp"
 
-int main() {
+CGC_BENCH("ext_prediction", "bench_ext_prediction", cgc::bench::CaseKind::kExtension,
+          "Host-load predictability, Cloud vs Grid (extension)") {
   using namespace cgc;
   bench::print_header("ext_prediction",
                       "Host-load predictability, Cloud vs Grid (extension)");
 
-  const trace::TraceSet google = bench::google_hostload();
-  const trace::TraceSet auvergrid = bench::grid_hostload("AuverGrid");
+  const trace::TraceSet& google = bench::google_hostload();
+  const trace::TraceSet& auvergrid = bench::grid_hostload("AuverGrid");
 
   const auto google_cpu =
       predict::evaluate_standard_suite(google, analysis::Metric::kCpu);
@@ -55,5 +57,4 @@ int main() {
               "(last-value MAE): %s (%.3f vs %.3f)\n",
               google_cpu[0].mae > grid_cpu[0].mae ? "HOLDS" : "VIOLATED",
               google_cpu[0].mae, grid_cpu[0].mae);
-  return 0;
 }

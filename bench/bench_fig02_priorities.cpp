@@ -7,14 +7,16 @@
 
 #include "analysis/workload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "gen/calibration.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("fig02", "bench_fig02_priorities", cgc::bench::CaseKind::kFigure,
+          "Number of jobs/tasks per priority (Fig 2)") {
   using namespace cgc;
   bench::print_header("fig02", "Number of jobs/tasks per priority (Fig 2)");
 
-  const trace::TraceSet trace = bench::google_workload();
+  const trace::TraceSet& trace = bench::google_workload(0.25);  // shared with fig04
   const analysis::PriorityHistogram hist =
       analysis::analyze_priorities(trace);
 
@@ -58,5 +60,4 @@ int main() {
 
   hist.to_figure().write_dat(bench::out_dir());
   bench::print_series_note("fig02_priority_counts.dat");
-  return 0;
 }

@@ -10,16 +10,18 @@
 
 #include "analysis/workload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "gen/calibration.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("fig04", "bench_fig04_masscount_tasklen", cgc::bench::CaseKind::kFigure,
+          "Mass-count disparity of task lengths (Fig 4)") {
   using namespace cgc;
   bench::print_header(
       "fig04", "Mass-count disparity of task lengths (Fig 4)");
 
-  const trace::TraceSet google = bench::google_workload(0.25);
-  const trace::TraceSet auvergrid = bench::grid_workload("AuverGrid");
+  const trace::TraceSet& google = bench::google_workload(0.25);
+  const trace::TraceSet& auvergrid = bench::grid_workload("AuverGrid");
 
   const analysis::MassCountReport g =
       analysis::analyze_task_length_mass_count(google);
@@ -58,5 +60,4 @@ int main() {
   g.figure.write_dat(bench::out_dir());
   a.figure.write_dat(bench::out_dir());
   bench::print_series_note("fig04_google_*.dat / fig04_auvergrid_*.dat");
-  return 0;
 }

@@ -9,27 +9,27 @@
 
 #include "analysis/workload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "stats/descriptive.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("fig05", "bench_fig05_submission_interval", cgc::bench::CaseKind::kFigure,
+          "CDF of submission interval (Fig 5)") {
   using namespace cgc;
   bench::print_header("fig05", "CDF of submission interval (Fig 5)");
 
-  std::vector<trace::TraceSet> traces;
-  traces.push_back(bench::google_workload(0.02));
+  // Pointers into the process-wide trace memo: no copies.
+  std::vector<const trace::TraceSet*> traces;
+  traces.push_back(&bench::google_workload(0.25));  // job-level stats are sampling-rate-invariant: share fig02/fig04's trace
   for (const char* name : {"AuverGrid", "NorduGrid", "SHARCNET", "ANL",
                            "RICC", "METACENTRUM", "LLNL-Atlas"}) {
-    traces.push_back(bench::grid_workload(name));
-  }
-  std::vector<const trace::TraceSet*> pointers;
-  for (const trace::TraceSet& t : traces) {
-    pointers.push_back(&t);
+    traces.push_back(&bench::grid_workload(name));
   }
 
   util::AsciiTable table({"system", "median interval (s)",
                           "mean interval (s)", "P(<60s)"});
-  for (const trace::TraceSet& t : traces) {
+  for (const trace::TraceSet* tp : traces) {
+    const trace::TraceSet& t = *tp;
     const auto intervals = t.submission_intervals();
     const auto summary =
         stats::summarize(std::span<const double>(intervals));
@@ -39,7 +39,7 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
 
-  const auto google_intervals = traces[0].submission_intervals();
+  const auto google_intervals = traces[0]->submission_intervals();
   bench::print_comparison("Google mean interval (s)",
                           "~6.5 (552/hour)",
                           util::cell(stats::summarize(std::span<const double>(
@@ -53,7 +53,7 @@ int main() {
             stats::summarize(std::span<const double>(google_intervals))
                 .mean();
         for (std::size_t i = 1; i < traces.size(); ++i) {
-          const auto grid = traces[i].submission_intervals();
+          const auto grid = traces[i]->submission_intervals();
           if (google_mean >=
               stats::summarize(std::span<const double>(grid)).mean()) {
             return std::string("NO");
@@ -62,8 +62,7 @@ int main() {
         return std::string("yes");
       }());
 
-  analysis::analyze_submission_interval_cdf(pointers)
+  analysis::analyze_submission_interval_cdf(traces)
       .write_dat(bench::out_dir());
   bench::print_series_note("fig05_<system>.dat");
-  return 0;
 }

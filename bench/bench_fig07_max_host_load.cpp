@@ -10,14 +10,16 @@
 
 #include "analysis/hostload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "stats/descriptive.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("fig07", "bench_fig07_max_host_load", cgc::bench::CaseKind::kFigure,
+          "Maximum host load distribution (Fig 7)") {
   using namespace cgc;
   bench::print_header("fig07", "Maximum host load distribution (Fig 7)");
 
-  const trace::TraceSet trace = bench::google_hostload();
+  const trace::TraceSet& trace = bench::google_hostload();
   const analysis::MaxLoadDistribution dist =
       analysis::analyze_max_host_load(trace);
 
@@ -96,5 +98,4 @@ int main() {
     f.write_dat(bench::out_dir());
   }
   bench::print_series_note("fig07a..d_cap_*.dat (PDF per capacity group)");
-  return 0;
 }

@@ -8,15 +8,17 @@
 
 #include "analysis/hostload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "gen/calibration.hpp"
 #include "stats/descriptive.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("fig08", "bench_fig08_queue_state", cgc::bench::CaseKind::kFigure,
+          "Task events & queuing state (Fig 8)") {
   using namespace cgc;
   bench::print_header("fig08", "Task events & queuing state (Fig 8)");
 
-  const trace::TraceSet trace = bench::google_hostload();
+  const trace::TraceSet& trace = bench::google_hostload();
   const analysis::QueueStateReport report =
       analysis::analyze_queue_state(trace);
 
@@ -55,5 +57,4 @@ int main() {
   report.queue_figure.write_dat(bench::out_dir());
   report.events_figure.write_dat(bench::out_dir());
   bench::print_series_note("fig08a_task_events.dat / fig08b_queue_state.dat");
-  return 0;
 }

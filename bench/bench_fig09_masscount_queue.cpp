@@ -8,14 +8,16 @@
 
 #include "analysis/hostload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("fig09", "bench_fig09_masscount_queue", cgc::bench::CaseKind::kFigure,
+          "Mass-count of unchanged queuing-state durations (Fig 9)") {
   using namespace cgc;
   bench::print_header(
       "fig09", "Mass-count of unchanged queuing-state durations (Fig 9)");
 
-  const trace::TraceSet trace = bench::google_hostload();
+  const trace::TraceSet& trace = bench::google_hostload();
   const analysis::QueueRunMassCount result =
       analysis::analyze_queue_run_mass_count(trace);
 
@@ -54,5 +56,4 @@ int main() {
 
   result.figure.write_dat(bench::out_dir());
   bench::print_series_note("fig09_running_*.dat");
-  return 0;
 }

@@ -9,13 +9,15 @@
 
 #include "analysis/hostload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("fig10", "bench_fig10_usage_snapshot", cgc::bench::CaseKind::kFigure,
+          "Usage-level snapshot (Fig 10)") {
   using namespace cgc;
   bench::print_header("fig10", "Usage-level snapshot (Fig 10)");
 
-  const trace::TraceSet trace = bench::google_hostload();
+  const trace::TraceSet& trace = bench::google_hostload();
 
   struct View {
     analysis::Metric metric;
@@ -59,5 +61,4 @@ int main() {
               "memory mostly levels 2-3; high-priority views much lighter.\n");
   bench::print_series_note("fig10_<metric>_<band>_levels.dat "
                            "(time_day machine level)");
-  return 0;
 }

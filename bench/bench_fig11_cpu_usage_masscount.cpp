@@ -7,14 +7,16 @@
 
 #include "analysis/hostload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "gen/calibration.hpp"
 
-int main() {
+CGC_BENCH("fig11", "bench_fig11_cpu_usage_masscount", cgc::bench::CaseKind::kFigure,
+          "Mass-count disparity of CPU usage (Fig 11)") {
   using namespace cgc;
   bench::print_header("fig11",
                       "Mass-count disparity of CPU usage (Fig 11)");
 
-  const trace::TraceSet trace = bench::google_hostload();
+  const trace::TraceSet& trace = bench::google_hostload();
 
   const analysis::UsageMassCountReport all = analysis::analyze_usage_mass_count(
       trace, analysis::Metric::kCpu, trace::PriorityBand::kLow);
@@ -43,5 +45,4 @@ int main() {
   all.figure.write_dat(bench::out_dir());
   high.figure.write_dat(bench::out_dir());
   bench::print_series_note("fig11a/fig11b mass_count.dat");
-  return 0;
 }

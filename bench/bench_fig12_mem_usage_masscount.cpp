@@ -7,14 +7,16 @@
 
 #include "analysis/hostload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "gen/calibration.hpp"
 
-int main() {
+CGC_BENCH("fig12", "bench_fig12_mem_usage_masscount", cgc::bench::CaseKind::kFigure,
+          "Mass-count disparity of memory usage (Fig 12)") {
   using namespace cgc;
   bench::print_header("fig12",
                       "Mass-count disparity of memory usage (Fig 12)");
 
-  const trace::TraceSet trace = bench::google_hostload();
+  const trace::TraceSet& trace = bench::google_hostload();
 
   const analysis::UsageMassCountReport all = analysis::analyze_usage_mass_count(
       trace, analysis::Metric::kMem, trace::PriorityBand::kLow);
@@ -48,5 +50,4 @@ int main() {
   all.figure.write_dat(bench::out_dir());
   high.figure.write_dat(bench::out_dir());
   bench::print_series_note("fig12a/fig12b mass_count.dat");
-  return 0;
 }

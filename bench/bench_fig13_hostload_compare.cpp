@@ -12,15 +12,17 @@
 
 #include "analysis/hostload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "gen/calibration.hpp"
 
-int main() {
+CGC_BENCH("fig13", "bench_fig13_hostload_compare", cgc::bench::CaseKind::kFigure,
+          "Cloud vs Grid host load (Fig 13)") {
   using namespace cgc;
   bench::print_header("fig13", "Cloud vs Grid host load (Fig 13)");
 
-  const trace::TraceSet google = bench::google_hostload();
-  const trace::TraceSet auvergrid = bench::grid_hostload("AuverGrid");
-  const trace::TraceSet sharcnet = bench::grid_hostload("SHARCNET");
+  const trace::TraceSet& google = bench::google_hostload();
+  const trace::TraceSet& auvergrid = bench::grid_hostload("AuverGrid");
+  const trace::TraceSet& sharcnet = bench::grid_hostload("SHARCNET");
   const trace::TraceSet* traces[] = {&google, &auvergrid, &sharcnet};
 
   const analysis::HostLoadComparison comparison =
@@ -63,5 +65,4 @@ int main() {
   bench::print_series_note(
       "fig13_<system>_host_load.dat (time_day cpu mem; plot the [0,30], "
       "[10,15], [10,11] day windows for the paper's three zoom levels)");
-  return 0;
 }

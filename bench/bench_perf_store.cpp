@@ -49,7 +49,7 @@ int main() {
   bench::print_header("PERF-STORE",
                       "CGCS columnar store vs. clusterdata CSV path");
 
-  const trace::TraceSet trace = bench::google_hostload();
+  const trace::TraceSet& trace = bench::google_hostload();
   const trace::TraceSummary summary = trace.summary();
   std::printf("  trace: %zu jobs, %zu tasks, %zu events, %zu samples\n",
               summary.num_jobs, summary.num_tasks, summary.num_events,

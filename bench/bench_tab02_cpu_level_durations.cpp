@@ -10,14 +10,16 @@
 
 #include "analysis/hostload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("tab02", "bench_tab02_cpu_level_durations", cgc::bench::CaseKind::kTable,
+          "Continuous duration of unchanged CPU usage level (Table II)") {
   using namespace cgc;
   bench::print_header(
       "tab02", "Continuous duration of unchanged CPU usage level (Table II)");
 
-  const trace::TraceSet trace = bench::google_hostload();
+  const trace::TraceSet& trace = bench::google_hostload();
   const analysis::LevelDurationTable table = analysis::analyze_level_durations(
       trace, analysis::Metric::kCpu, trace::PriorityBand::kLow);
   std::printf("%s\n", table.render().c_str());
@@ -44,5 +46,4 @@ int main() {
                                           band);
     std::printf("%s\n", view.render().c_str());
   }
-  return 0;
 }

@@ -10,15 +10,17 @@
 
 #include "analysis/hostload_analyzers.hpp"
 #include "common.hpp"
+#include "registry.hpp"
 #include "util/table.hpp"
 
-int main() {
+CGC_BENCH("tab03", "bench_tab03_mem_level_durations", cgc::bench::CaseKind::kTable,
+          "Continuous duration of unchanged memory usage level (Table III)") {
   using namespace cgc;
   bench::print_header(
       "tab03",
       "Continuous duration of unchanged memory usage level (Table III)");
 
-  const trace::TraceSet trace = bench::google_hostload();
+  const trace::TraceSet& trace = bench::google_hostload();
   const analysis::LevelDurationTable mem_table =
       analysis::analyze_level_durations(trace, analysis::Metric::kMem,
                                         trace::PriorityBand::kLow);
@@ -53,5 +55,4 @@ int main() {
               "(cpu %.1f min vs mem %.1f min)\n",
               cpu_avg / cpu_n < mem_avg / mem_n ? "HOLDS" : "VIOLATED",
               cpu_avg / cpu_n, mem_avg / mem_n);
-  return 0;
 }

@@ -1,0 +1,205 @@
+// cgc_report: the whole reproduction sweep in one process.
+//
+// Runs every registered bench case (all paper figures/tables plus the
+// ablations and extensions) sequentially over the shared in-memory
+// trace cache — each standard trace is built exactly once instead of
+// once per bench binary, and the kernels inside each pipeline fan out
+// across the cgc::exec pool. Emits the same .dat series as the
+// standalone binaries (bit-identical: case bodies are the same
+// functions) plus a machine-readable $CGC_BENCH_OUT/report.json with
+// per-case wall-clock timings.
+//
+// Usage:
+//   cgc_report                 run everything
+//   cgc_report --list          list case ids and exit
+//   cgc_report --only id[,id]  run a subset (comma-separated ids)
+// Environment: CGC_BENCH_FAST / CGC_BENCH_CACHE / CGC_BENCH_OUT /
+// CGC_THREADS as for the standalone benches (see bench/common.hpp).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "exec/parallel.hpp"
+#include "registry.hpp"
+
+namespace {
+
+using cgc::bench::BenchCase;
+using cgc::bench::CaseKind;
+
+struct CaseResult {
+  const BenchCase* c = nullptr;
+  double seconds = 0.0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Minimal JSON string escape (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ids(const std::string& csv) {
+  std::vector<std::string> ids;
+  std::stringstream ss(csv);
+  std::string id;
+  while (std::getline(ss, id, ',')) {
+    if (!id.empty()) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+void write_report_json(const std::vector<CaseResult>& results,
+                       double total_seconds) {
+  const std::string path = cgc::bench::out_dir() + "/report.json";
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"fast_mode\": " << (cgc::bench::fast_mode() ? "true" : "false")
+      << ",\n";
+  out << "  \"threads\": " << cgc::exec::num_workers() << ",\n";
+  out << "  \"total_seconds\": " << total_seconds << ",\n";
+  out << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    out << "    {\"id\": \"" << json_escape(r.c->id) << "\", "
+        << "\"binary\": \"" << json_escape(r.c->binary) << "\", "
+        << "\"kind\": \"" << cgc::bench::kind_name(r.c->kind) << "\", "
+        << "\"title\": \"" << json_escape(r.c->title) << "\", "
+        << "\"seconds\": " << r.seconds << ", "
+        << "\"ok\": " << (r.ok ? "true" : "false");
+    if (!r.ok) {
+      out << ", \"error\": \"" << json_escape(r.error) << "\"";
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::printf("\nreport written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<const BenchCase*> cases;
+  for (const BenchCase& c : cgc::bench::registry()) {
+    cases.push_back(&c);
+  }
+  // Paper order: figures, tables, ablations, extensions; by id within.
+  std::sort(cases.begin(), cases.end(),
+            [](const BenchCase* a, const BenchCase* b) {
+              return std::make_pair(a->kind, a->id) <
+                     std::make_pair(b->kind, b->id);
+            });
+
+  std::vector<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const BenchCase* c : cases) {
+        std::printf("%-20s %-10s %s\n", c->id.c_str(),
+                    cgc::bench::kind_name(c->kind), c->title.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--only" && i + 1 < argc) {
+      only = split_ids(argv[++i]);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      only = split_ids(arg.substr(7));
+    } else if (arg == "--all") {
+      only.clear();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--list] [--only id[,id...]] [--all]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!only.empty()) {
+    std::erase_if(cases, [&only](const BenchCase* c) {
+      return std::find(only.begin(), only.end(), c->id) == only.end();
+    });
+    if (cases.empty()) {
+      std::fprintf(stderr, "no cases matched --only filter\n");
+      return 2;
+    }
+  }
+
+  std::printf("cgc_report: %zu cases, %zu worker threads, %s scale\n",
+              cases.size(), cgc::exec::num_workers(),
+              cgc::bench::fast_mode() ? "fast" : "full");
+
+  std::vector<CaseResult> results;
+  results.reserve(cases.size());
+  const auto sweep_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const BenchCase* c = cases[i];
+    std::printf("\n[%zu/%zu] %s (%s)\n", i + 1, cases.size(), c->id.c_str(),
+                c->binary.c_str());
+    CaseResult r;
+    r.c = c;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      c->fn();
+      r.ok = true;
+    } catch (const std::exception& e) {
+      r.error = e.what();
+      std::fprintf(stderr, "%s failed: %s\n", c->id.c_str(), e.what());
+    }
+    r.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    results.push_back(std::move(r));
+  }
+  const double total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::printf("\n================ sweep summary ================\n");
+  for (const CaseResult& r : results) {
+    std::printf("  %-20s %8.2f s  %s\n", r.c->id.c_str(), r.seconds,
+                r.ok ? "ok" : "FAILED");
+  }
+  std::printf("  %-20s %8.2f s\n", "total", total_seconds);
+
+  write_report_json(results, total_seconds);
+
+  const bool all_ok =
+      std::all_of(results.begin(), results.end(),
+                  [](const CaseResult& r) { return r.ok; });
+  return all_ok ? 0 : 1;
+}

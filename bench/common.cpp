@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "core/characterization.hpp"
 #include "store/reader.hpp"
@@ -30,8 +34,9 @@ std::string cache_dir() { return env_or("CGC_BENCH_CACHE", "bench_cache"); }
 /// exercise and for external tooling; loading it upgrades the cache by
 /// writing the .cgcs alongside), then a fresh simulation (cached in
 /// both forms).
-trace::TraceSet cached_or_simulate(const std::string& key,
-                                   trace::TraceSet (*simulate)()) {
+trace::TraceSet cached_or_simulate(
+    const std::string& key,
+    const std::function<trace::TraceSet()>& simulate) {
   const std::string dir = cache_dir() + "/" + key;
   const std::string cgcs = dir + ".cgcs";
   if (std::filesystem::exists(cgcs)) {
@@ -62,6 +67,25 @@ std::string scale_key() {
   return fast_mode() ? "fast" : "full";
 }
 
+/// Process-wide trace memo: each standard trace is built once and
+/// shared by reference across every case in the process (the win that
+/// makes cgc_report beat one-binary-per-figure wall clock). unique_ptr
+/// slots keep references stable across map rehashes.
+const trace::TraceSet& memoized(
+    const std::string& key,
+    const std::function<trace::TraceSet()>& build) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<trace::TraceSet>> cache;
+  std::unique_lock lock(mutex);
+  auto& slot = cache[key];
+  if (!slot) {
+    // Build outside the lock would allow duplicate work on races; the
+    // sweep is sequential, so holding it keeps the logic simple.
+    slot = std::make_unique<trace::TraceSet>(build());
+  }
+  return *slot;
+}
+
 }  // namespace
 
 bool fast_mode() {
@@ -87,16 +111,25 @@ std::string out_dir() {
   return dir;
 }
 
-trace::TraceSet google_workload(double task_sampling_rate) {
-  gen::GoogleModelConfig config;
-  config.task_sampling_rate = task_sampling_rate;
-  return gen::GoogleWorkloadModel(config).generate_workload(
-      workload_horizon());
+const trace::TraceSet& google_workload(double task_sampling_rate) {
+  char key[64];
+  std::snprintf(key, sizeof(key), "workload_google_%g_%s",
+                task_sampling_rate, scale_key().c_str());
+  return memoized(key, [task_sampling_rate] {
+    gen::GoogleModelConfig config;
+    config.task_sampling_rate = task_sampling_rate;
+    return gen::GoogleWorkloadModel(config).generate_workload(
+        workload_horizon());
+  });
 }
 
-trace::TraceSet grid_workload(const std::string& name) {
-  return gen::GridWorkloadModel(preset_by_name(name))
-      .generate_workload(workload_horizon());
+const trace::TraceSet& grid_workload(const std::string& name) {
+  return memoized("workload_" + analysis::sanitize_name(name) + "_" +
+                      scale_key(),
+                  [&name] {
+                    return gen::GridWorkloadModel(preset_by_name(name))
+                        .generate_workload(workload_horizon());
+                  });
 }
 
 gen::GridSystemPreset preset_by_name(const std::string& name) {
@@ -109,23 +142,26 @@ gen::GridSystemPreset preset_by_name(const std::string& name) {
   return {};
 }
 
-trace::TraceSet google_hostload() {
-  return cached_or_simulate("google_" + scale_key(), [] {
-    gen::GoogleModelConfig config;
-    sim::SimConfig sim_config;
-    return Characterization::simulate_google_hostload(
-        config, sim_config, google_machines(), hostload_horizon());
+const trace::TraceSet& google_hostload() {
+  const std::string key = "google_" + scale_key();
+  return memoized("hostload_" + key, [&key] {
+    return cached_or_simulate(key, [] {
+      gen::GoogleModelConfig config;
+      sim::SimConfig sim_config;
+      return Characterization::simulate_google_hostload(
+          config, sim_config, google_machines(), hostload_horizon());
+    });
   });
 }
 
-trace::TraceSet grid_hostload(const std::string& name) {
-  static std::string requested;  // captured by the cache lambda
-  requested = name;
-  return cached_or_simulate(
-      analysis::sanitize_name(name) + "_" + scale_key(), [] {
-        return Characterization::simulate_grid_hostload(
-            preset_by_name(requested), grid_machines(), hostload_horizon());
-      });
+const trace::TraceSet& grid_hostload(const std::string& name) {
+  const std::string key = analysis::sanitize_name(name) + "_" + scale_key();
+  return memoized("hostload_" + key, [&key, &name] {
+    return cached_or_simulate(key, [&name] {
+      return Characterization::simulate_grid_hostload(
+          preset_by_name(name), grid_machines(), hostload_horizon());
+    });
+  });
 }
 
 void print_header(const std::string& id, const std::string& title) {

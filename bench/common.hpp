@@ -9,6 +9,12 @@
 //   CGC_BENCH_FAST=1      quarter-scale run (smoke-testing the harness)
 //   CGC_BENCH_CACHE=DIR   host-load trace cache (default ./bench_cache)
 //   CGC_BENCH_OUT=DIR     .dat output directory (default ./bench_out)
+//   CGC_THREADS=N         worker count for parallel kernels (cgc::exec)
+//
+// Trace accessors return references into a process-wide memo: within
+// one process (the standalone binary, or cgc_report running the whole
+// sweep) each standard trace is built exactly once, no matter how many
+// cases consume it.
 #pragma once
 
 #include <string>
@@ -32,21 +38,30 @@ std::size_t grid_machines();        ///< 32 (fast: 12)
 /// Output directory for .dat series (created on demand).
 std::string out_dir();
 
-/// Full-rate Google workload trace (Figs 2-6, Table I). Tasks are
-/// sampled at `task_sampling_rate` to bound memory at month scale.
-trace::TraceSet google_workload(double task_sampling_rate = 0.3);
+/// Google workload trace (Figs 2-6, Table I). Tasks are sampled at
+/// `task_sampling_rate` to bound memory at month scale; the job stream
+/// (and thus every job-level statistic: lengths, submission intervals,
+/// per-job cpu/mem) is identical at any rate < 1.0 because sampling
+/// drops task records after the RNG draw. The sweep standardizes on
+/// 0.25 so all Google workload cases share one generation. Memoized
+/// per sampling rate; the reference stays valid for the process
+/// lifetime.
+const trace::TraceSet& google_workload(double task_sampling_rate = 0.25);
 
-/// Grid workload trace for a named preset.
-trace::TraceSet grid_workload(const std::string& name);
+/// Grid workload trace for a named preset. Memoized per system.
+const trace::TraceSet& grid_workload(const std::string& name);
 
-/// Simulated Google host-load trace (Figs 7-13, Tables II-III), cached
-/// on disk under CGC_BENCH_CACHE between bench invocations — the first
-/// bench pays the simulation, later ones reload via the clusterdata
-/// reader (which doubles as an IO-path exercise).
-trace::TraceSet google_hostload();
+/// Simulated Google host-load trace (Figs 7-13, Tables II-III).
+/// Memoized in-process and cached on disk under CGC_BENCH_CACHE between
+/// invocations — the first consumer pays the simulation, later ones
+/// reload via the columnar store or clusterdata reader (the latter kept
+/// as an IO-path exercise).
+const trace::TraceSet& google_hostload();
 
-/// Simulated grid host-load trace for "AuverGrid" or "SHARCNET" (Fig 13).
-trace::TraceSet grid_hostload(const std::string& name);
+/// Simulated grid host-load trace for "AuverGrid" or "SHARCNET"
+/// (Fig 13 and the ext_* cases). Memoized and disk-cached like
+/// google_hostload().
+const trace::TraceSet& grid_hostload(const std::string& name);
 
 /// Finds a preset by system name; throws on unknown names.
 gen::GridSystemPreset preset_by_name(const std::string& name);

@@ -1,0 +1,31 @@
+#include "registry.hpp"
+
+#include <utility>
+
+namespace cgc::bench {
+
+const char* kind_name(CaseKind kind) {
+  switch (kind) {
+    case CaseKind::kFigure:
+      return "figure";
+    case CaseKind::kTable:
+      return "table";
+    case CaseKind::kAblation:
+      return "ablation";
+    case CaseKind::kExtension:
+      return "extension";
+  }
+  return "unknown";
+}
+
+std::vector<BenchCase>& registry() {
+  static std::vector<BenchCase> cases;
+  return cases;
+}
+
+int register_case(BenchCase c) {
+  registry().push_back(std::move(c));
+  return 0;
+}
+
+}  // namespace cgc::bench

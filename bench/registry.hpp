@@ -1,0 +1,49 @@
+// Bench-case registry.
+//
+// Every reproduction pipeline (one paper figure/table/ablation) is a
+// CGC_BENCH-registered function instead of a main(). The same case
+// source links two ways:
+//   * standalone_main.cpp + one case  -> the classic bench_* binary;
+//   * cgc_report.cpp      + all cases -> one process running the whole
+//     sweep over a shared in-memory trace cache (each standard trace is
+//     built once instead of once per binary).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cgc::bench {
+
+/// Where a case sits in the paper (drives report ordering/grouping).
+enum class CaseKind { kFigure, kTable, kAblation, kExtension };
+
+const char* kind_name(CaseKind kind);
+
+struct BenchCase {
+  std::string id;      ///< e.g. "fig04"
+  std::string binary;  ///< standalone binary name, e.g. "bench_fig04_..."
+  std::string title;
+  CaseKind kind = CaseKind::kFigure;
+  std::function<void()> fn;
+};
+
+/// All cases linked into this binary, in registration (link) order.
+std::vector<BenchCase>& registry();
+
+/// Registers a case; returns a dummy for static-init use.
+int register_case(BenchCase c);
+
+/// Registers the body that follows as a bench case:
+///   CGC_BENCH("fig02", "bench_fig02_priorities",
+///             cgc::bench::CaseKind::kFigure, "…title…") {
+///     ...pipeline...
+///   }
+#define CGC_BENCH(id, binary, kind, title)                            \
+  static void cgc_bench_case_body();                                  \
+  static const int cgc_bench_case_registered_ =                       \
+      ::cgc::bench::register_case(                                    \
+          {id, binary, title, kind, &cgc_bench_case_body});           \
+  static void cgc_bench_case_body()
+
+}  // namespace cgc::bench

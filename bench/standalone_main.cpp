@@ -1,0 +1,19 @@
+// main() for the classic one-case bench_* binaries: runs every case
+// linked into the binary (exactly one, by construction in
+// bench/CMakeLists.txt).
+#include <cstdio>
+#include <exception>
+
+#include "registry.hpp"
+
+int main() {
+  for (const cgc::bench::BenchCase& c : cgc::bench::registry()) {
+    try {
+      c.fn();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s failed: %s\n", c.id.c_str(), e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <mutex>
+#include <utility>
 
+#include "exec/parallel.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/histogram.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 #include "util/time_util.hpp"
 
 namespace cgc::analysis {
@@ -255,34 +255,39 @@ QueueStateReport analyze_queue_state(const TraceSet& trace,
 QueueRunMassCount analyze_queue_run_mass_count(const TraceSet& trace) {
   constexpr int kBucketWidth = 10;
   constexpr int kNumBuckets = 6;  // [0,9] ... [50,inf)
-  std::array<std::vector<double>, kNumBuckets> durations;
+  using BucketDurations = std::array<std::vector<double>, kNumBuckets>;
 
   const auto host_load = trace.host_load();
-  std::mutex merge_mutex;
-  util::parallel_for_chunked(0, host_load.size(), [&](std::size_t lo,
-                                                      std::size_t hi) {
-    std::array<std::vector<double>, kNumBuckets> local;
-    std::vector<std::int64_t> bucketed;
-    for (std::size_t m = lo; m < hi; ++m) {
-      const HostLoadSeries& h = host_load[m];
-      bucketed.clear();
-      bucketed.reserve(h.size());
-      for (std::size_t i = 0; i < h.size(); ++i) {
-        bucketed.push_back(
-            std::min<std::int64_t>(h.running(i) / kBucketWidth,
-                                   kNumBuckets - 1));
-      }
-      for (const auto& run : stats::state_runs(bucketed, h.period())) {
-        local[run.level].push_back(util::to_minutes(run.duration));
-      }
-    }
-    std::lock_guard lock(merge_mutex);
-    for (int b = 0; b < kNumBuckets; ++b) {
-      auto& dst = durations[static_cast<std::size_t>(b)];
-      auto& src = local[static_cast<std::size_t>(b)];
-      dst.insert(dst.end(), src.begin(), src.end());
-    }
-  });
+  // Ordered reduce (partials append in chunk order) keeps each bucket's
+  // run list in machine order at any thread count.
+  const BucketDurations durations = exec::parallel_reduce(
+      0, host_load.size(), BucketDurations{},
+      [&](std::size_t lo, std::size_t hi) {
+        BucketDurations local;
+        std::vector<std::int64_t> bucketed;
+        for (std::size_t m = lo; m < hi; ++m) {
+          const HostLoadSeries& h = host_load[m];
+          bucketed.clear();
+          bucketed.reserve(h.size());
+          for (std::size_t i = 0; i < h.size(); ++i) {
+            bucketed.push_back(
+                std::min<std::int64_t>(h.running(i) / kBucketWidth,
+                                       kNumBuckets - 1));
+          }
+          for (const auto& run : stats::state_runs(bucketed, h.period())) {
+            local[run.level].push_back(util::to_minutes(run.duration));
+          }
+        }
+        return local;
+      },
+      [](BucketDurations& acc, BucketDurations&& part) {
+        for (int b = 0; b < kNumBuckets; ++b) {
+          auto& dst = acc[static_cast<std::size_t>(b)];
+          auto& src = part[static_cast<std::size_t>(b)];
+          dst.insert(dst.end(), src.begin(), src.end());
+        }
+      },
+      /*grain=*/1);
 
   QueueRunMassCount out;
   out.figure.id = "fig09";
@@ -373,13 +378,13 @@ LevelDurationTable analyze_level_durations(const TraceSet& trace,
                                            Metric metric,
                                            PriorityBand min_band) {
   constexpr std::size_t kLevels = 5;
-  std::array<std::vector<double>, kLevels> durations;
+  using LevelDurations = std::array<std::vector<double>, kLevels>;
 
   const auto host_load = trace.host_load();
-  std::mutex merge_mutex;
-  util::parallel_for_chunked(
-      0, host_load.size(), [&](std::size_t lo, std::size_t hi) {
-        std::array<std::vector<double>, kLevels> local;
+  const LevelDurations durations = exec::parallel_reduce(
+      0, host_load.size(), LevelDurations{},
+      [&](std::size_t lo, std::size_t hi) {
+        LevelDurations local;
         for (std::size_t m = lo; m < hi; ++m) {
           const HostLoadSeries& h = host_load[m];
           if (h.empty()) {
@@ -392,12 +397,14 @@ LevelDurationTable analyze_level_durations(const TraceSet& trace,
             local[run.level].push_back(util::to_minutes(run.duration));
           }
         }
-        std::lock_guard lock(merge_mutex);
+        return local;
+      },
+      [](LevelDurations& acc, LevelDurations&& part) {
         for (std::size_t l = 0; l < kLevels; ++l) {
-          durations[l].insert(durations[l].end(), local[l].begin(),
-                              local[l].end());
+          acc[l].insert(acc[l].end(), part[l].begin(), part[l].end());
         }
-      });
+      },
+      /*grain=*/1);
 
   LevelDurationTable table;
   table.metric = metric;
@@ -451,19 +458,21 @@ UsageMassCountReport analyze_usage_mass_count(const TraceSet& trace,
                                               Metric metric,
                                               PriorityBand min_band) {
   const auto host_load = trace.host_load();
-  std::vector<double> usage;
-  std::mutex merge_mutex;
-  util::parallel_for_chunked(
-      0, host_load.size(), [&](std::size_t lo, std::size_t hi) {
+  const std::vector<double> usage = exec::parallel_reduce(
+      0, host_load.size(), std::vector<double>{},
+      [&](std::size_t lo, std::size_t hi) {
         std::vector<double> local;
         for (std::size_t m = lo; m < hi; ++m) {
           const std::vector<double> rel =
               relative_series(trace, host_load[m], metric, min_band);
           local.insert(local.end(), rel.begin(), rel.end());
         }
-        std::lock_guard lock(merge_mutex);
-        usage.insert(usage.end(), local.begin(), local.end());
-      });
+        return local;
+      },
+      [](std::vector<double>& acc, std::vector<double>&& part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+      },
+      /*grain=*/1);
   CGC_CHECK_MSG(!usage.empty(), "no usage samples");
 
   UsageMassCountReport report;
@@ -521,12 +530,13 @@ HostLoadComparison analyze_hostload_comparison(
 
     std::vector<double> per_host_noise(host_load.size(), 0.0);
     std::vector<double> per_host_autocorr(host_load.size(), 0.0);
-    stats::RunningStats cpu_stats;
-    stats::RunningStats mem_stats;
-    std::mutex merge_mutex;
-    util::parallel_for_chunked(
-        0, host_load.size(), [&](std::size_t lo, std::size_t hi) {
-          stats::RunningStats local_cpu, local_mem;
+    // Map chunks fill disjoint per-host slots; the RunningStats pair
+    // merges in chunk order so cluster-wide means are deterministic.
+    using StatsPair = std::pair<stats::RunningStats, stats::RunningStats>;
+    const StatsPair usage_stats = exec::parallel_reduce(
+        0, host_load.size(), StatsPair{},
+        [&](std::size_t lo, std::size_t hi) {
+          StatsPair local;
           for (std::size_t m = lo; m < hi; ++m) {
             const std::vector<double> cpu = relative_series(
                 *trace, host_load[m], Metric::kCpu, PriorityBand::kLow);
@@ -537,16 +547,21 @@ HostLoadComparison analyze_hostload_comparison(
                     .mean_abs;
             per_host_autocorr[m] = stats::autocorrelation(cpu, 1);
             for (const double v : cpu) {
-              local_cpu.add(v);
+              local.first.add(v);
             }
             for (const double v : mem) {
-              local_mem.add(v);
+              local.second.add(v);
             }
           }
-          std::lock_guard lock(merge_mutex);
-          cpu_stats.merge(local_cpu);
-          mem_stats.merge(local_mem);
-        });
+          return local;
+        },
+        [](StatsPair& acc, StatsPair&& part) {
+          acc.first.merge(part.first);
+          acc.second.merge(part.second);
+        },
+        /*grain=*/1);
+    const stats::RunningStats& cpu_stats = usage_stats.first;
+    const stats::RunningStats& mem_stats = usage_stats.second;
 
     const auto noise_summary =
         stats::summarize(std::span<const double>(per_host_noise));

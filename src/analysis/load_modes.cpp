@@ -3,16 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <sstream>
 
 #include "analysis/hostload_analyzers.hpp"
+#include "exec/parallel.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/timeseries.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 
 namespace cgc::analysis {
 
@@ -36,26 +35,26 @@ std::vector<HostLoadFeatures> extract_host_features(
     const trace::TraceSet& trace) {
   const auto host_load = trace.host_load();
   CGC_CHECK_MSG(!host_load.empty(), "trace has no host load");
+  // One machine per chunk: each slot is written exactly once, so the
+  // fan-out is race free and the feature vector thread-count invariant.
   std::vector<HostLoadFeatures> features(host_load.size());
-  util::parallel_for_chunked(
-      0, host_load.size(), [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t m = lo; m < hi; ++m) {
-          const auto machine = trace.machine_by_id(host_load[m].machine_id());
-          CGC_CHECK(machine.has_value());
-          const std::vector<double> cpu = host_load[m].cpu_relative(
-              machine->cpu_capacity, trace::PriorityBand::kLow);
-          const std::vector<double> mem = host_load[m].mem_relative(
-              machine->mem_capacity, trace::PriorityBand::kLow);
-          HostLoadFeatures& f = features[m];
-          f.machine_id = host_load[m].machine_id();
-          f.mean_cpu =
-              stats::summarize(std::span<const double>(cpu)).mean();
-          f.mean_mem =
-              stats::summarize(std::span<const double>(mem)).mean();
-          f.cpu_noise = stats::noise_after_mean_filter(cpu, 5).mean_abs;
-          f.cpu_autocorr = stats::autocorrelation(cpu, 1);
-        }
-      });
+  exec::parallel_for(
+      0, host_load.size(),
+      [&](std::size_t m) {
+        const auto machine = trace.machine_by_id(host_load[m].machine_id());
+        CGC_CHECK(machine.has_value());
+        const std::vector<double> cpu = host_load[m].cpu_relative(
+            machine->cpu_capacity, trace::PriorityBand::kLow);
+        const std::vector<double> mem = host_load[m].mem_relative(
+            machine->mem_capacity, trace::PriorityBand::kLow);
+        HostLoadFeatures& f = features[m];
+        f.machine_id = host_load[m].machine_id();
+        f.mean_cpu = stats::summarize(std::span<const double>(cpu)).mean();
+        f.mean_mem = stats::summarize(std::span<const double>(mem)).mean();
+        f.cpu_noise = stats::noise_after_mean_filter(cpu, 5).mean_abs;
+        f.cpu_autocorr = stats::autocorrelation(cpu, 1);
+      },
+      /*grain=*/1);
   return features;
 }
 

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
+#include "exec/parallel.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/periodicity.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 #include "util/time_util.hpp"
 
 namespace cgc::analysis {
@@ -46,16 +45,22 @@ PeriodicityReport analyze_periodicity(const trace::TraceSet& trace,
   report.metric = metric;
   report.num_hosts = host_load.size();
 
-  std::vector<double> periods;          // significant hosts only
-  std::vector<double> strengths;
-  std::vector<double> mean_acf(max_lag_hours, 0.0);
-  std::size_t acf_hosts = 0;
-  std::mutex merge_mutex;
-  util::parallel_for_chunked(
-      0, host_load.size(), [&](std::size_t lo, std::size_t hi) {
-        std::vector<double> local_periods, local_strengths;
-        std::vector<double> local_acf(max_lag_hours, 0.0);
-        std::size_t local_hosts = 0;
+  /// Per-chunk accumulator for the ordered reduce: ACF sums combine in
+  /// chunk (= machine) order so the summed floats — and the significant
+  /// host lists — are identical at any thread count.
+  struct Accum {
+    std::vector<double> periods;  // significant hosts only
+    std::vector<double> strengths;
+    std::vector<double> acf_sum;
+    std::size_t hosts = 0;
+  };
+  Accum init;
+  init.acf_sum.assign(max_lag_hours, 0.0);
+  const Accum acc = exec::parallel_reduce(
+      0, host_load.size(), std::move(init),
+      [&](std::size_t lo, std::size_t hi) {
+        Accum local;
+        local.acf_sum.assign(max_lag_hours, 0.0);
         for (std::size_t m = lo; m < hi; ++m) {
           const auto machine = trace.machine_by_id(host_load[m].machine_id());
           const std::vector<double> rel =
@@ -72,27 +77,34 @@ PeriodicityReport analyze_periodicity(const trace::TraceSet& trace,
           const auto acf =
               stats::autocorrelation_function(hourly, max_lag_hours);
           for (std::size_t l = 0; l < max_lag_hours; ++l) {
-            local_acf[l] += acf[l];
+            local.acf_sum[l] += acf[l];
           }
-          ++local_hosts;
+          ++local.hosts;
           const auto result = stats::detect_periodicity(
               hourly, min_lag_hours, max_lag_hours);
           if (result.significant) {
-            local_periods.push_back(
+            local.periods.push_back(
                 static_cast<double>(result.dominant_period));
-            local_strengths.push_back(result.strength);
+            local.strengths.push_back(result.strength);
           }
         }
-        std::lock_guard lock(merge_mutex);
-        periods.insert(periods.end(), local_periods.begin(),
-                       local_periods.end());
-        strengths.insert(strengths.end(), local_strengths.begin(),
-                         local_strengths.end());
+        return local;
+      },
+      [max_lag_hours](Accum& a, Accum&& part) {
+        a.periods.insert(a.periods.end(), part.periods.begin(),
+                         part.periods.end());
+        a.strengths.insert(a.strengths.end(), part.strengths.begin(),
+                           part.strengths.end());
         for (std::size_t l = 0; l < max_lag_hours; ++l) {
-          mean_acf[l] += local_acf[l];
+          a.acf_sum[l] += part.acf_sum[l];
         }
-        acf_hosts += local_hosts;
-      });
+        a.hosts += part.hosts;
+      },
+      /*grain=*/1);
+  const std::vector<double>& periods = acc.periods;
+  const std::vector<double>& strengths = acc.strengths;
+  std::vector<double> mean_acf = acc.acf_sum;
+  const std::size_t acf_hosts = acc.hosts;
 
   if (acf_hosts > 0) {
     for (double& v : mean_acf) {

@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
+#include "exec/parallel.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/ecdf.hpp"
 #include "stats/fairness.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 
 namespace cgc::analysis {
 
@@ -75,20 +74,28 @@ PriorityHistogram analyze_priorities(const trace::TraceSet& trace) {
   for (const trace::Job& j : trace.jobs()) {
     ++hist.jobs[static_cast<std::size_t>(j.priority - 1)];
   }
-  // Task counts fan out across shards (task arrays are large).
+  // Task counts fan out across shards (task arrays are large); the
+  // ordered reduce sums integer partials, so the merge order is moot
+  // but the exec contract keeps it deterministic anyway.
   const auto tasks = trace.tasks();
-  std::mutex merge_mutex;
-  util::parallel_for_chunked(0, tasks.size(), [&](std::size_t lo,
-                                                  std::size_t hi) {
-    std::array<std::int64_t, trace::kNumPriorities> local{};
-    for (std::size_t i = lo; i < hi; ++i) {
-      ++local[static_cast<std::size_t>(tasks[i].priority - 1)];
-    }
-    std::lock_guard lock(merge_mutex);
-    for (std::size_t p = 0; p < local.size(); ++p) {
-      hist.tasks[p] += local[p];
-    }
-  });
+  using Counts = std::array<std::int64_t, trace::kNumPriorities>;
+  const Counts task_counts = exec::parallel_reduce(
+      0, tasks.size(), Counts{},
+      [&](std::size_t lo, std::size_t hi) {
+        Counts local{};
+        for (std::size_t i = lo; i < hi; ++i) {
+          ++local[static_cast<std::size_t>(tasks[i].priority - 1)];
+        }
+        return local;
+      },
+      [](Counts& acc, Counts&& part) {
+        for (std::size_t p = 0; p < part.size(); ++p) {
+          acc[p] += part[p];
+        }
+      });
+  for (std::size_t p = 0; p < task_counts.size(); ++p) {
+    hist.tasks[p] += task_counts[p];
+  }
   return hist;
 }
 

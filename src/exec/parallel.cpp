@@ -1,0 +1,153 @@
+#include "exec/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+namespace cgc::exec {
+
+namespace {
+
+/// Default minimum chunk size: small enough to balance per-host scans,
+/// large enough that chunk bookkeeping is noise for element-wise loops.
+constexpr std::size_t kDefaultGrain = 1024;
+
+/// Cap on the chunk count. Fixed (not pool-size-derived) so the chunk
+/// plan — and with it every reduction order — is identical at any
+/// CGC_THREADS. 256 chunks keep 8-32 workers load-balanced without
+/// flooding the queue.
+constexpr std::size_t kMaxChunks = 256;
+
+util::ThreadPool*& pool_override() {
+  static util::ThreadPool* override_pool = nullptr;
+  return override_pool;
+}
+
+std::mutex& pool_override_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+std::size_t num_workers() { return detail::pool().size(); }
+
+ChunkPlan plan_chunks(std::size_t begin, std::size_t end, std::size_t grain) {
+  ChunkPlan plan;
+  if (begin >= end) {
+    return plan;
+  }
+  plan.begin = begin;
+  plan.end = end;
+  const std::size_t n = end - begin;
+  if (grain == 0) {
+    grain = kDefaultGrain;
+  }
+  std::size_t num_chunks = std::max<std::size_t>(1, n / grain);
+  num_chunks = std::min(num_chunks, kMaxChunks);
+  plan.chunk_size = (n + num_chunks - 1) / num_chunks;
+  plan.num_chunks = (n + plan.chunk_size - 1) / plan.chunk_size;
+  return plan;
+}
+
+ScopedPool::ScopedPool(util::ThreadPool* pool) {
+  std::lock_guard lock(pool_override_mutex());
+  previous_ = pool_override();
+  pool_override() = pool;
+}
+
+ScopedPool::~ScopedPool() {
+  std::lock_guard lock(pool_override_mutex());
+  pool_override() = previous_;
+}
+
+namespace detail {
+
+util::ThreadPool& pool() {
+  {
+    std::lock_guard lock(pool_override_mutex());
+    if (pool_override() != nullptr) {
+      return *pool_override();
+    }
+  }
+  return util::ThreadPool::shared();
+}
+
+void run_chunks(std::size_t num_chunks,
+                const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) {
+    return;
+  }
+  if (num_chunks == 1) {
+    fn(0);
+    return;
+  }
+
+  // Shared claim state. Helpers hold it by shared_ptr, so a helper that
+  // only gets scheduled after this call returned (all chunks were
+  // claimed by faster threads) still finds valid memory and exits.
+  struct State {
+    std::function<void(std::size_t)> fn;
+    std::size_t num_chunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t completed = 0;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = fn;
+  state->num_chunks = num_chunks;
+
+  const auto work = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const std::size_t ci = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (ci >= s->num_chunks) {
+        return;
+      }
+      std::exception_ptr error;
+      try {
+        s->fn(ci);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard lock(s->mutex);
+      if (error) {
+        s->errors.emplace_back(ci, error);
+      }
+      if (++s->completed == s->num_chunks) {
+        s->done_cv.notify_all();
+      }
+    }
+  };
+
+  // Helpers never block, so claimed chunks always finish; the caller
+  // claims chunks too, so progress is guaranteed even when every pool
+  // worker is parked inside an enclosing parallel region.
+  util::ThreadPool& p = pool();
+  const std::size_t num_helpers = std::min(p.size(), num_chunks - 1);
+  for (std::size_t i = 0; i < num_helpers; ++i) {
+    p.submit([state, work] { work(state); });
+  }
+  work(state);
+
+  std::unique_lock lock(state->mutex);
+  state->done_cv.wait(lock,
+                      [&] { return state->completed == state->num_chunks; });
+  if (!state->errors.empty()) {
+    // Deterministic choice: lowest chunk index wins.
+    auto first = state->errors.front();
+    for (const auto& e : state->errors) {
+      if (e.first < first.first) {
+        first = e;
+      }
+    }
+    std::rethrow_exception(first.second);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace cgc::exec

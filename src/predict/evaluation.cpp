@@ -1,11 +1,10 @@
 #include "predict/evaluation.hpp"
 
 #include <cmath>
-#include <mutex>
 
+#include "exec/parallel.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 
 namespace cgc::predict {
 
@@ -72,11 +71,12 @@ EvaluationResult evaluate_trace(
     std::size_t warmup) {
   const auto host_load = trace.host_load();
   CGC_CHECK_MSG(!host_load.empty(), "trace has no host load");
-  ErrorAccumulator total;
-  std::string name;
-  std::mutex merge_mutex;
-  util::parallel_for_chunked(
-      0, host_load.size(), [&](std::size_t lo, std::size_t hi) {
+  std::string name = factory()->name();
+  // Each chunk runs its own predictor instance; partials merge in chunk
+  // order so the reported errors are identical at any thread count.
+  const ErrorAccumulator total = exec::parallel_reduce(
+      0, host_load.size(), ErrorAccumulator{},
+      [&](std::size_t lo, std::size_t hi) {
         PredictorPtr predictor = factory();
         ErrorAccumulator local;
         for (std::size_t m = lo; m < hi; ++m) {
@@ -89,12 +89,12 @@ EvaluationResult evaluate_trace(
                                               trace::PriorityBand::kLow);
           run_series(*predictor, series, warmup, &local);
         }
-        std::lock_guard lock(merge_mutex);
-        total.merge(local);
-        if (name.empty()) {
-          name = predictor->name();
-        }
-      });
+        return local;
+      },
+      [](ErrorAccumulator& acc, ErrorAccumulator&& part) {
+        acc.merge(part);
+      },
+      /*grain=*/1);
   return total.finish(name);
 }
 

@@ -3,16 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.hpp"
 #include "util/check.hpp"
 
 namespace cgc::stats {
 
 Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
-  std::sort(sorted_.begin(), sorted_.end());
-  double sum = 0.0;
-  for (const double v : sorted_) {
-    sum += v;
-  }
+  // Construction cost is the sort; month-scale samples (task lengths,
+  // usage samples) fan out across the pool. parallel_sort and the
+  // chunked sum are deterministic at any thread count (exec contract),
+  // so Ecdf-derived outputs stay bit-identical serial vs parallel.
+  exec::parallel_sort(&sorted_);
+  const double sum = exec::parallel_reduce(
+      0, sorted_.size(), 0.0,
+      [this](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          s += sorted_[i];
+        }
+        return s;
+      },
+      [](double& acc, double part) { acc += part; });
   mean_ = sorted_.empty() ? 0.0 : sum / static_cast<double>(sorted_.size());
 }
 

@@ -1,8 +1,13 @@
 // Empirical cumulative distribution function.
 //
-// The paper plots CDFs constantly (Figs 3, 5, 6, and the count half of
-// every mass-count plot). Ecdf stores the sorted sample once and answers
-// evaluations, quantiles, and produces downsampled plot series.
+// Paper reference: Section II.B introduces the CDF as the primary
+// distribution view, and Figs 3 (job length), 5 (submission interval),
+// and 6 (per-job CPU/memory) are plain CDF plots; the mass-count
+// figures (4, 9, 11, 12) reuse it as their "count" half. Implements the
+// standard empirical estimator F_n(x) = (1/n) Σ 1{X_i <= x} — the
+// right-continuous step function through the order statistics. Ecdf
+// stores the sorted sample once (sorting fans out via cgc::exec) and
+// answers evaluations, quantiles, and downsampled plot series.
 #pragma once
 
 #include <span>

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "exec/parallel.hpp"
 #include "util/check.hpp"
 
 namespace cgc::stats {
@@ -21,7 +22,11 @@ SortedMass prepare(std::span<const double> values) {
   CGC_CHECK_MSG(!values.empty(), "mass-count of empty sample");
   SortedMass sm;
   sm.sorted.assign(values.begin(), values.end());
-  std::sort(sm.sorted.begin(), sm.sorted.end());
+  // The sort dominates (the prefix-mass sweep is a single O(n) pass
+  // kept serial so the accumulation order is fixed); parallel_sort is
+  // deterministic, so joint ratios and .dat series are thread-count
+  // independent.
+  exec::parallel_sort(&sm.sorted);
   CGC_CHECK_MSG(sm.sorted.front() >= 0.0,
                 "mass-count requires non-negative values");
   sm.prefix_mass.resize(sm.sorted.size());

@@ -1,7 +1,10 @@
 // Mass-count disparity analysis (Feitelson, "Workload Modeling").
 //
-// The paper's signature statistical tool (Figs 4, 9, 11, 12). For a
-// positive-valued sample it computes:
+// Paper reference: Section II.B defines the joint ratio and
+// mm-distance; Figs 4 (task length), 9 (queue-state durations), 11
+// (CPU usage), and 12 (memory usage) are mass-count plots, and the
+// headline "6/94" Google task-length joint ratio is the paper's
+// signature statistic. For a positive-valued sample it computes:
 //   - the count CDF   Fc(x) = P(X <= x)
 //   - the mass  CDF   Fm(x) = E[X * 1{X <= x}] / E[X]
 //   - the joint ratio: at the crossover point x* where Fc + Fm = 1, the

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "exec/parallel.hpp"
 #include "stats/timeseries.hpp"
 #include "util/check.hpp"
 
@@ -29,16 +30,22 @@ std::vector<double> autocorrelation_function(std::span<const double> series,
   if (var == 0.0) {
     return acf;
   }
-  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
-    if (lag + 1 >= n) {
-      break;
-    }
-    double cov = 0.0;
-    for (std::size_t i = 0; i + lag < n; ++i) {
-      cov += (series[i] - mean) * (series[i + lag] - mean);
-    }
-    acf[lag - 1] = cov / var;
-  }
+  // Lags are independent O(n) covariance sums writing disjoint slots,
+  // so fan them out one lag per chunk; the per-lag accumulation stays a
+  // single serial loop, keeping every acf[k] thread-count independent.
+  exec::parallel_for(
+      1, max_lag + 1,
+      [&](std::size_t lag) {
+        if (lag + 1 >= n) {
+          return;
+        }
+        double cov = 0.0;
+        for (std::size_t i = 0; i + lag < n; ++i) {
+          cov += (series[i] - mean) * (series[i + lag] - mean);
+        }
+        acf[lag - 1] = cov / var;
+      },
+      /*grain=*/1);
   return acf;
 }
 

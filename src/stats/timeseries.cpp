@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.hpp"
 #include "util/check.hpp"
 
 namespace cgc::stats {
@@ -64,22 +65,33 @@ double autocorrelation(std::span<const double> series, std::size_t lag) {
     return 0.0;
   }
   const std::size_t n = series.size();
-  double mean = 0.0;
-  for (const double v : series) {
-    mean += v;
-  }
-  mean /= static_cast<double>(n);
-  double var = 0.0;
-  for (const double v : series) {
-    var += (v - mean) * (v - mean);
-  }
+  // Each pass is a deterministic chunked reduce (fixed chunk plan,
+  // partials combined in index order), so the result is bit-identical
+  // at any thread count.
+  const auto chunked_sum = [&](auto&& term) {
+    return exec::parallel_reduce(
+        0, n, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            s += term(i);
+          }
+          return s;
+        },
+        [](double& acc, double part) { acc += part; });
+  };
+  const double mean =
+      chunked_sum([&](std::size_t i) { return series[i]; }) /
+      static_cast<double>(n);
+  const double var = chunked_sum([&](std::size_t i) {
+    return (series[i] - mean) * (series[i] - mean);
+  });
   if (var == 0.0) {
     return 0.0;
   }
-  double cov = 0.0;
-  for (std::size_t i = 0; i + lag < n; ++i) {
-    cov += (series[i] - mean) * (series[i + lag] - mean);
-  }
+  const double cov = chunked_sum([&](std::size_t i) {
+    return i + lag < n ? (series[i] - mean) * (series[i + lag] - mean) : 0.0;
+  });
   return cov / var;
 }
 

@@ -7,7 +7,7 @@
 
 #include "store/encoding.hpp"
 #include "util/check.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/parallel.hpp"
 
 namespace cgc::store {
 
@@ -300,7 +300,7 @@ trace::TraceSet StoreReader::load_trace_set() const {
   };
 
   const std::vector<RowGroupChunks> task_groups = group_rows(SectionId::kTasks);
-  util::parallel_for(0, task_groups.size(), [&](std::size_t gi) {
+  exec::parallel_for(0, task_groups.size(), [&](std::size_t gi) {
     const RowGroupChunks& g = task_groups[gi];
     std::vector<std::int64_t> jid, tidx, submit, sched, end_t, mid, resub;
     decode_i64(need(g, ColumnId::kJobId), &jid);
@@ -333,11 +333,11 @@ trace::TraceSet StoreReader::load_trace_set() const {
       t.cpu_usage = cpu_use[i];
       t.mem_usage = mem_use[i];
     }
-  });
+  }, /*grain=*/1);
 
   const std::vector<RowGroupChunks> event_groups =
       group_rows(SectionId::kEvents);
-  util::parallel_for(0, event_groups.size(), [&](std::size_t gi) {
+  exec::parallel_for(0, event_groups.size(), [&](std::size_t gi) {
     const RowGroupChunks& g = event_groups[gi];
     std::vector<std::int64_t> time, jid, tidx, mid;
     decode_i64(need(g, ColumnId::kTime), &time);
@@ -356,11 +356,11 @@ trace::TraceSet StoreReader::load_trace_set() const {
       e.type = static_cast<trace::TaskEventType>(type[i]);
       e.priority = prio[i];
     }
-  });
+  }, /*grain=*/1);
 
   // The remaining sections are small (jobs, machines) or already land
   // in flat per-column arrays (host load), so they decode chunk-wise.
-  util::parallel_for(0, chunks_.size(), [&](std::size_t ci) {
+  exec::parallel_for(0, chunks_.size(), [&](std::size_t ci) {
     const ChunkMeta& c = chunks_[ci];
     if (c.section == SectionId::kTasks || c.section == SectionId::kEvents) {
       return;
@@ -515,7 +515,7 @@ trace::TraceSet StoreReader::load_trace_set() const {
         break;
       }
     }
-  });
+  }, /*grain=*/1);
 
   // Rebuild the per-machine series from the flat columns; each series
   // owns a disjoint sample range, so this also fans out cleanly.
@@ -524,7 +524,7 @@ trace::TraceSet StoreReader::load_trace_set() const {
     series_offset[i + 1] = series_offset[i] + series_[i].samples;
   }
   std::vector<HostLoadSeries> host_load(series_.size());
-  util::parallel_for(0, series_.size(), [&](std::size_t si) {
+  exec::parallel_for(0, series_.size(), [&](std::size_t si) {
     const SeriesMeta& meta = series_[si];
     HostLoadSeries series(meta.machine_id, meta.start, meta.period);
     const std::size_t base = series_offset[si];
@@ -542,7 +542,7 @@ trace::TraceSet StoreReader::load_trace_set() const {
                           std::span(hl.running).subspan(base, n),
                           std::span(hl.pending).subspan(base, n));
     host_load[si] = std::move(series);
-  });
+  }, /*grain=*/1);
 
   trace::TraceSet trace(info_.system_name);
   trace.set_memory_in_mb(info_.memory_in_mb);
@@ -631,7 +631,7 @@ ScanStats StoreReader::scan(
   std::vector<std::vector<trace::TaskEvent>> slots(survivors.size());
   std::atomic<std::size_t> decoded{0};
   std::atomic<std::size_t> matched{0};
-  util::parallel_for(0, survivors.size(), [&](std::size_t gi) {
+  exec::parallel_for(0, survivors.size(), [&](std::size_t gi) {
     const EventRowGroup& g = *survivors[gi];
     std::vector<std::int64_t> time, job_id, task_index, machine_id;
     decode_i64(*g.time, &time);
@@ -655,7 +655,7 @@ ScanStats StoreReader::scan(
     }
     decoded.fetch_add(g.row_count, std::memory_order_relaxed);
     matched.fetch_add(out.size(), std::memory_order_relaxed);
-  });
+  }, /*grain=*/1);
   stats.rows_decoded = decoded.load();
   stats.rows_matched = matched.load();
 

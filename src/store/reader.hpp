@@ -1,8 +1,9 @@
 // CGCS reader: memory-maps a .cgcs file and exposes
 //   * zero-copy spans over raw columns (floats/bytes point straight
 //     into the mapping — no decode, no allocation),
-//   * load_trace_set(): full TraceSet materialization with chunk
-//     decoding fanned out over util::ThreadPool,
+//   * load_trace_set(): full TraceSet materialization with row-group
+//     decoding fanned out over cgc::exec (one chunk of work per row
+//     group, stitched into place in row order),
 //   * scan(): predicate-pushdown scan over the events section that
 //     skips whole chunks via zone maps before touching their bytes.
 //
@@ -92,8 +93,10 @@ class StoreReader {
   void decode_i64(const ChunkMeta& chunk,
                   std::vector<std::int64_t>* out) const;
 
-  /// Materializes the full TraceSet. Chunk decoding is parallelized over
-  /// util::ThreadPool; the result is finalized and ready for analyzers.
+  /// Materializes the full TraceSet. Row groups decode in parallel via
+  /// cgc::exec (each group owns a disjoint row range, so the fan-out is
+  /// race free and the result independent of the thread count); the
+  /// result is finalized and ready for analyzers.
   trace::TraceSet load_trace_set() const;
 
   /// Streams events matching `predicate` to `fn`, one span per row

@@ -1,7 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <exception>
+#include <cstdlib>
+#include <string>
 
 #include "util/check.hpp"
 
@@ -41,7 +42,18 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    // CGC_THREADS pins the shared pool size (the cgc::exec determinism
+    // contract makes results identical at any value; the knob exists
+    // for benchmarking and for pinning CI smoke runs).
+    if (const char* env = std::getenv("CGC_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) {
+        return static_cast<std::size_t>(parsed);
+      }
+    }
+    return std::size_t{0};  // hardware_concurrency()
+  }());
   return pool;
 }
 
@@ -58,53 +70,6 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     task();  // exceptions are captured in the packaged_task's future
-  }
-}
-
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn) {
-  parallel_for_chunked(begin, end, [&fn](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      fn(i);
-    }
-  });
-}
-
-void parallel_for_chunked(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (begin >= end) {
-    return;
-  }
-  const std::size_t n = end - begin;
-  ThreadPool& pool = ThreadPool::shared();
-  // 4 chunks per worker amortizes imbalance without oversubscribing the
-  // queue; tiny ranges run inline.
-  const std::size_t num_chunks =
-      std::min(n, std::max<std::size_t>(1, pool.size() * 4));
-  if (num_chunks == 1) {
-    fn(begin, end);
-    return;
-  }
-  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(num_chunks);
-  for (std::size_t lo = begin; lo < end; lo += chunk) {
-    const std::size_t hi = std::min(end, lo + chunk);
-    futures.push_back(pool.submit([&fn, lo, hi] { fn(lo, hi); }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) {
-        first_error = std::current_exception();
-      }
-    }
-  }
-  if (first_error) {
-    std::rethrow_exception(first_error);
   }
 }
 

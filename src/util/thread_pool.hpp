@@ -1,10 +1,9 @@
-// Fixed-size thread pool and data-parallel helpers.
+// Fixed-size thread pool.
 //
-// The analysis pipelines fan out per machine / per job. Work is split
-// into contiguous chunks, each chunk processed by one worker with its own
-// accumulator, merged after a join — no shared mutable state inside the
-// parallel region (Core Guidelines CP.2/CP.3/CP.20: RAII joins, no data
-// races by construction).
+// The raw execution substrate: FIFO task queue, RAII joins (Core
+// Guidelines CP.2/CP.3/CP.20). Data-parallel loops should not use this
+// directly — cgc::exec (src/exec/parallel.hpp) layers deterministic
+// chunking, nesting-safe waits, and ordered reductions on top of it.
 #pragma once
 
 #include <condition_variable>
@@ -36,7 +35,9 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Process-wide shared pool (lazily constructed, never destroyed before
-  /// exit). Use for transient data-parallel regions.
+  /// exit). Sized by the CGC_THREADS environment variable when set to a
+  /// positive integer, else hardware_concurrency(). Use for transient
+  /// data-parallel regions (via cgc::exec).
   static ThreadPool& shared();
 
  private:
@@ -48,18 +49,5 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
 };
-
-/// Runs fn(i) for i in [begin, end) across the shared pool using static
-/// chunking. Blocks until all iterations complete. Exceptions from any
-/// iteration are rethrown (first one wins).
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn);
-
-/// Chunked variant: fn(chunk_begin, chunk_end) once per chunk. Preferred
-/// when per-iteration work is tiny — lets the caller keep a chunk-local
-/// accumulator.
-void parallel_for_chunked(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& fn);
 
 }  // namespace cgc::util

@@ -1,8 +1,9 @@
-// Tests for the thread pool and data-parallel helpers.
+// Tests for the raw thread pool (task submission layer). Data-parallel
+// helper coverage lives in exec_test.cpp.
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <numeric>
+#include <future>
 #include <vector>
 
 #include "util/check.hpp"
@@ -40,71 +41,65 @@ TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
   EXPECT_THROW(f.get(), Error);
 }
 
-TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
-  constexpr std::size_t kN = 10000;
-  std::vector<std::atomic<int>> hits(kN);
-  parallel_for(0, kN, [&hits](std::size_t i) { ++hits[i]; });
-  for (std::size_t i = 0; i < kN; ++i) {
-    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
-  }
-}
-
-TEST(ParallelFor, EmptyRangeIsNoop) {
-  bool called = false;
-  parallel_for(5, 5, [&called](std::size_t) { called = true; });
-  EXPECT_FALSE(called);
-}
-
-TEST(ParallelForChunked, ChunksPartitionTheRange) {
-  constexpr std::size_t kN = 5371;  // deliberately not a round number
-  std::atomic<std::size_t> total{0};
-  parallel_for_chunked(0, kN, [&total](std::size_t lo, std::size_t hi) {
-    ASSERT_LT(lo, hi);
-    total += hi - lo;
-  });
-  EXPECT_EQ(total.load(), kN);
-}
-
-TEST(ParallelForChunked, ComputesSameSumAsSerial) {
-  std::vector<double> values(20000);
-  std::iota(values.begin(), values.end(), 1.0);
-  const double serial = std::accumulate(values.begin(), values.end(), 0.0);
-
-  std::mutex mutex;
-  double parallel_sum = 0.0;
-  parallel_for_chunked(0, values.size(),
-                       [&](std::size_t lo, std::size_t hi) {
-                         double local = 0.0;
-                         for (std::size_t i = lo; i < hi; ++i) {
-                           local += values[i];
-                         }
-                         std::lock_guard lock(mutex);
-                         parallel_sum += local;
-                       });
-  EXPECT_DOUBLE_EQ(parallel_sum, serial);
-}
-
-TEST(ParallelFor, ExceptionFromIterationIsRethrown) {
-  EXPECT_THROW(parallel_for(0, 100,
-                            [](std::size_t i) {
-                              if (i == 42) {
-                                throw Error("iteration failure");
-                              }
-                            }),
-               Error);
-}
-
-TEST(ParallelFor, NestedUseDoesNotDeadlock) {
-  // Analyzers may call parallel helpers from within pooled work; the
-  // chunked helper runs inline when the range is tiny, so nesting of
-  // small inner loops must complete.
-  std::atomic<int> count{0};
-  parallel_for(0, 8, [&count](std::size_t) {
-    parallel_for_chunked(0, 1, [&count](std::size_t, std::size_t) {
-      ++count;
+TEST(ThreadPool, StressManySmallTasksFromManyThreads) {
+  // Hammer the queue from several producer threads at once; every task
+  // must run exactly once and every future must resolve.
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 250;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kPerProducer);
+      for (int i = 0; i < kPerProducer; ++i) {
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+      }
+      for (auto& f : futures) {
+        f.get();
+      }
     });
-  });
-  EXPECT_EQ(count.load(), 8);
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(counter.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlockWhenCallerDoesNotBlock) {
+  // A pooled task may submit follow-up work to the same pool as long as
+  // it does not block on it; the follow-ups drain after it returns.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::mutex inner_mutex;
+  std::vector<std::future<void>> inner;
+  std::vector<std::future<void>> outer;
+  for (int i = 0; i < 16; ++i) {
+    outer.push_back(pool.submit([&] {
+      auto f = pool.submit([&count] { ++count; });
+      std::lock_guard lock(inner_mutex);
+      inner.push_back(std::move(f));
+    }));
+  }
+  for (auto& f : outer) {
+    f.get();
+  }
+  for (auto& f : inner) {
+    f.get();
+  }
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionDoesNotKillWorkers) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([] { throw Error("first"); });
+  EXPECT_THROW(bad.get(), Error);
+  // The pool must still execute subsequent work.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
 }
 
 }  // namespace
