@@ -6,69 +6,74 @@
 // once per bench binary, and the kernels inside each pipeline fan out
 // across the cgc::exec pool. Emits the same .dat series as the
 // standalone binaries (bit-identical: case bodies are the same
-// functions) plus a machine-readable $CGC_BENCH_OUT/report.json with
-// per-case wall-clock timings.
+// functions) plus a machine-readable $CGC_BENCH_OUT/report.json.
+//
+// The sweep is built to survive a bad night: report.json is rewritten
+// atomically after every case (a SIGKILL at any point leaves a valid
+// checkpoint), cases that throw cgc::util::TransientError are retried
+// with capped exponential backoff, a wall-clock watchdog bounds each
+// case, and `--resume` skips cases whose recorded .dat outputs still
+// hash-match, re-running only the unfinished ones.
 //
 // Usage:
 //   cgc_report                 run everything
 //   cgc_report --list          list case ids and exit
 //   cgc_report --only id[,id]  run a subset (comma-separated ids)
+//   cgc_report --resume        skip cases already satisfied on disk
 // Environment: CGC_BENCH_FAST / CGC_BENCH_CACHE / CGC_BENCH_OUT /
-// CGC_THREADS as for the standalone benches (see bench/common.hpp).
+// CGC_THREADS as for the standalone benches (see bench/common.hpp),
+// plus:
+//   CGC_RETRY_MAX=N         attempts per case on transient errors (3)
+//   CGC_RETRY_BACKOFF_MS=N  first backoff, doubling, capped at 2000 (100)
+//   CGC_CASE_TIMEOUT=N      per-case wall-clock budget in seconds
+//                           (0 = no watchdog, the default)
+//   CGC_FAULT_SPEC=...      fault injection (src/fault/fault.hpp)
+//
+// Exit codes: 0 all cases ok and no data loss; 1 a case failed, timed
+// out, or a degraded load lost data (see report.json); 2 usage;
+// 3 fatal environment error.
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
-#include <fstream>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "exec/parallel.hpp"
+#include "fault/fault.hpp"
 #include "registry.hpp"
+#include "report_io.hpp"
+#include "util/check.hpp"
 
 namespace {
 
 using cgc::bench::BenchCase;
-using cgc::bench::CaseKind;
+using cgc::bench::CaseOutput;
+using cgc::bench::CaseRecord;
+using cgc::bench::SweepReport;
 
-struct CaseResult {
-  const BenchCase* c = nullptr;
-  double seconds = 0.0;
-  bool ok = false;
-  std::string error;
-};
-
-/// Minimal JSON string escape (quotes, backslashes, control chars).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char ch : s) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
+long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return fallback;
   }
-  return out;
+  try {
+    return std::stol(value);
+  } catch (const std::exception&) {
+    throw cgc::util::FatalError(std::string(name) + ": not a number: " +
+                                value);
+  }
 }
 
 std::vector<std::string> split_ids(const std::string& csv) {
@@ -83,49 +88,213 @@ std::vector<std::string> split_ids(const std::string& csv) {
   return ids;
 }
 
-void write_report_json(const std::vector<CaseResult>& results,
-                       double total_seconds) {
-  const std::string path = cgc::bench::out_dir() + "/report.json";
-  std::ofstream out(path);
-  out << "{\n";
-  out << "  \"fast_mode\": " << (cgc::bench::fast_mode() ? "true" : "false")
-      << ",\n";
-  out << "  \"threads\": " << cgc::exec::num_workers() << ",\n";
-  out << "  \"total_seconds\": " << total_seconds << ",\n";
-  out << "  \"cases\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const CaseResult& r = results[i];
-    out << "    {\"id\": \"" << json_escape(r.c->id) << "\", "
-        << "\"binary\": \"" << json_escape(r.c->binary) << "\", "
-        << "\"kind\": \"" << cgc::bench::kind_name(r.c->kind) << "\", "
-        << "\"title\": \"" << json_escape(r.c->title) << "\", "
-        << "\"seconds\": " << r.seconds << ", "
-        << "\"ok\": " << (r.ok ? "true" : "false");
-    if (!r.ok) {
-      out << ", \"error\": \"" << json_escape(r.error) << "\"";
-    }
-    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+/// (size, mtime) per regular file under `dir`, keyed by path relative
+/// to `dir`. Diffing two snapshots attributes output files to a case.
+std::map<std::string, std::pair<std::uintmax_t, std::filesystem::file_time_type>>
+dir_snapshot(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::map<std::string, std::pair<std::uintmax_t, fs::file_time_type>> snap;
+  if (!fs::exists(dir)) {
+    return snap;
   }
-  out << "  ]\n";
-  out << "}\n";
-  std::printf("\nreport written to %s\n", path.c_str());
+  for (const fs::directory_entry& e : fs::recursive_directory_iterator(dir)) {
+    if (e.is_regular_file()) {
+      snap[fs::relative(e.path(), dir).string()] = {e.file_size(),
+                                                    e.last_write_time()};
+    }
+  }
+  return snap;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::vector<const BenchCase*> cases;
-  for (const BenchCase& c : cgc::bench::registry()) {
-    cases.push_back(&c);
+/// Files new or changed between two snapshots, hashed for the report.
+std::vector<CaseOutput> diff_outputs(
+    const std::map<std::string,
+                   std::pair<std::uintmax_t,
+                             std::filesystem::file_time_type>>& before,
+    const std::map<std::string,
+                   std::pair<std::uintmax_t,
+                             std::filesystem::file_time_type>>& after,
+    const std::string& dir) {
+  std::vector<CaseOutput> outputs;
+  for (const auto& [file, stat] : after) {
+    if (file == "report.json" || file == "report.json.tmp") {
+      continue;  // the sweep's own checkpoint is not a case output
+    }
+    const auto it = before.find(file);
+    if (it != before.end() && it->second == stat) {
+      continue;
+    }
+    CaseOutput o;
+    o.file = file;
+    if (cgc::bench::file_crc32(dir + "/" + file, &o.crc, &o.size)) {
+      outputs.push_back(std::move(o));
+    }
   }
-  // Paper order: figures, tables, ablations, extensions; by id within.
-  std::sort(cases.begin(), cases.end(),
-            [](const BenchCase* a, const BenchCase* b) {
-              return std::make_pair(a->kind, a->id) <
-                     std::make_pair(b->kind, b->id);
-            });
+  return outputs;
+}
+
+/// True when every output recorded for a previous run of this case
+/// still exists with matching content.
+bool outputs_match(const CaseRecord& record, const std::string& dir) {
+  for (const CaseOutput& o : record.outputs) {
+    std::uint32_t crc = 0;
+    std::uint64_t size = 0;
+    if (!cgc::bench::file_crc32(dir + "/" + o.file, &crc, &size) ||
+        crc != o.crc || size != o.size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs `fn` on a worker thread, waiting at most `timeout_sec` (0 = no
+/// limit). Returns false on timeout; the stuck thread is left detached
+/// — the caller must flush state and _Exit, because the thread cannot
+/// be killed safely and may be wedged inside the shared exec pool.
+bool run_bounded(const std::function<void()>& fn, long timeout_sec) {
+  struct Shared {
+    std::mutex m;
+    std::condition_variable cv;
+    bool finished = false;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  std::thread worker([fn, shared] {
+    try {
+      fn();
+    } catch (...) {
+      shared->error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(shared->m);
+      shared->finished = true;
+    }
+    shared->cv.notify_all();
+  });
+  if (timeout_sec > 0) {
+    std::unique_lock lock(shared->m);
+    const bool finished =
+        shared->cv.wait_for(lock, std::chrono::seconds(timeout_sec),
+                            [&shared] { return shared->finished; });
+    if (!finished) {
+      worker.detach();
+      return false;
+    }
+    lock.unlock();
+  }
+  worker.join();
+  if (shared->error) {
+    std::rethrow_exception(shared->error);
+  }
+  return true;
+}
+
+struct Sweep {
+  std::vector<const BenchCase*> cases;
+  SweepReport report;
+  std::string report_path;
+  std::string out_dir;
+  long retry_max = 3;
+  long backoff_ms = 100;
+  long timeout_sec = 0;
+
+  void flush(bool complete, double total_seconds) {
+    const cgc::bench::IoHealth health = cgc::bench::io_health();
+    report.chunks_quarantined = health.chunks_quarantined;
+    report.rows_lost = health.rows_lost;
+    report.values_defaulted = health.values_defaulted;
+    report.parse_lines_bad = health.parse_lines_bad;
+    report.complete = complete;
+    report.total_seconds = total_seconds;
+    cgc::bench::write_report(report, report_path);
+  }
+
+  /// Runs one case with retry + watchdog; appends its record and
+  /// checkpoints the report. _Exit(1)s on a watchdog trip.
+  void run_case(std::size_t index, const BenchCase* c, double elapsed) {
+    CaseRecord r;
+    r.id = c->id;
+    r.binary = c->binary;
+    r.kind = cgc::bench::kind_name(c->kind);
+    r.title = c->title;
+
+    const auto before = dir_snapshot(out_dir);
+    const auto start = std::chrono::steady_clock::now();
+    long backoff = backoff_ms;
+    for (int attempt = 1; attempt <= retry_max; ++attempt) {
+      r.attempts = attempt;
+      try {
+        const bool finished = run_bounded(
+            [this, index, c, attempt] {
+              if (cgc::fault::armed()) {
+                // Keyed by (case, attempt) so every=/once= triggers can
+                // target a specific attempt deterministically.
+                cgc::fault::maybe_throw(
+                    "report.case",
+                    (static_cast<std::uint64_t>(index) << 8) |
+                        static_cast<std::uint64_t>(attempt),
+                    cgc::fault::ErrorKind::kTransient);
+                if (cgc::fault::inject("report.case_stall", index)) {
+                  // Sleep past any watchdog budget to exercise it.
+                  std::this_thread::sleep_for(std::chrono::seconds(
+                      timeout_sec > 0 ? timeout_sec * 2 : 3600));
+                }
+              }
+              c->fn();
+            },
+            timeout_sec);
+        if (!finished) {
+          r.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+          r.ok = false;
+          r.error = "watchdog: exceeded CGC_CASE_TIMEOUT=" +
+                    std::to_string(timeout_sec) + "s";
+          std::fprintf(stderr, "%s: %s\n", c->id.c_str(), r.error.c_str());
+          report.cases.push_back(std::move(r));
+          flush(false, elapsed + r.seconds);
+          // The case thread is stuck and cannot be joined; running
+          // destructors under it would race. The checkpoint is on
+          // disk — leave via _Exit and let --resume pick up from here.
+          std::_Exit(cgc::util::kExitFailure);
+        }
+        r.ok = true;
+        break;
+      } catch (const cgc::util::TransientError& e) {
+        r.error = e.what();
+        if (attempt == retry_max) {
+          std::fprintf(stderr, "%s failed (transient, %d attempts): %s\n",
+                       c->id.c_str(), attempt, e.what());
+          break;
+        }
+        std::fprintf(stderr, "%s attempt %d: %s; retrying in %ld ms\n",
+                     c->id.c_str(), attempt, e.what(), backoff);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        backoff = std::min<long>(backoff * 2, 2000);
+      } catch (const std::exception& e) {
+        // Data/fatal errors do not retry: the input will not improve.
+        r.error = e.what();
+        std::fprintf(stderr, "%s failed: %s\n", c->id.c_str(), e.what());
+        break;
+      }
+    }
+    r.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    if (r.ok) {
+      r.error.clear();
+      r.outputs = diff_outputs(before, dir_snapshot(out_dir), out_dir);
+    }
+    report.cases.push_back(std::move(r));
+    flush(false, elapsed + r.seconds);
+  }
+};
+
+int run(int argc, char** argv) {
+  std::vector<const BenchCase*> cases = cgc::bench::sorted_cases();
 
   std::vector<std::string> only;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -133,7 +302,7 @@ int main(int argc, char** argv) {
         std::printf("%-20s %-10s %s\n", c->id.c_str(),
                     cgc::bench::kind_name(c->kind), c->title.c_str());
       }
-      return 0;
+      return cgc::util::kExitOk;
     }
     if (arg == "--only" && i + 1 < argc) {
       only = split_ids(argv[++i]);
@@ -141,11 +310,14 @@ int main(int argc, char** argv) {
       only = split_ids(arg.substr(7));
     } else if (arg == "--all") {
       only.clear();
+    } else if (arg == "--resume") {
+      resume = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--list] [--only id[,id...]] [--all]\n",
-                   argv[0]);
-      return 2;
+      std::fprintf(
+          stderr,
+          "usage: %s [--list] [--only id[,id...]] [--all] [--resume]\n",
+          argv[0]);
+      return cgc::util::kExitUsage;
     }
   }
   if (!only.empty()) {
@@ -154,35 +326,65 @@ int main(int argc, char** argv) {
     });
     if (cases.empty()) {
       std::fprintf(stderr, "no cases matched --only filter\n");
-      return 2;
+      return cgc::util::kExitUsage;
     }
   }
 
-  std::printf("cgc_report: %zu cases, %zu worker threads, %s scale\n",
-              cases.size(), cgc::exec::num_workers(),
-              cgc::bench::fast_mode() ? "fast" : "full");
+  Sweep sweep;
+  sweep.cases = cases;
+  sweep.out_dir = cgc::bench::out_dir();
+  sweep.report_path = sweep.out_dir + "/report.json";
+  sweep.retry_max = std::max(1L, env_long("CGC_RETRY_MAX", 3));
+  sweep.backoff_ms = std::max(1L, env_long("CGC_RETRY_BACKOFF_MS", 100));
+  sweep.timeout_sec = std::max(0L, env_long("CGC_CASE_TIMEOUT", 0));
+  sweep.report.fast_mode = cgc::bench::fast_mode();
+  sweep.report.threads = cgc::exec::num_workers();
+  sweep.report.fault_spec = cgc::fault::active_spec();
 
-  std::vector<CaseResult> results;
-  results.reserve(cases.size());
+  // --resume: any case in the previous report that succeeded and whose
+  // recorded outputs still hash-match carries over; everything else
+  // re-runs.
+  std::map<std::string, CaseRecord> previous;
+  if (resume) {
+    SweepReport prior;
+    if (cgc::bench::read_report(sweep.report_path, &prior)) {
+      for (CaseRecord& r : prior.cases) {
+        if (r.ok && outputs_match(r, sweep.out_dir)) {
+          previous.emplace(r.id, std::move(r));
+        }
+      }
+      std::printf("resume: %zu of %zu cases already satisfied\n",
+                  previous.size(), cases.size());
+    } else {
+      std::printf("resume: no usable %s; running everything\n",
+                  sweep.report_path.c_str());
+    }
+  }
+
+  std::printf("cgc_report: %zu cases, %zu worker threads, %s scale%s\n",
+              cases.size(), cgc::exec::num_workers(),
+              cgc::bench::fast_mode() ? "fast" : "full",
+              sweep.report.fault_spec.empty()
+                  ? ""
+                  : (" [faults: " + sweep.report.fault_spec + "]").c_str());
+
   const auto sweep_start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const BenchCase* c = cases[i];
     std::printf("\n[%zu/%zu] %s (%s)\n", i + 1, cases.size(), c->id.c_str(),
                 c->binary.c_str());
-    CaseResult r;
-    r.c = c;
-    const auto start = std::chrono::steady_clock::now();
-    try {
-      c->fn();
-      r.ok = true;
-    } catch (const std::exception& e) {
-      r.error = e.what();
-      std::fprintf(stderr, "%s failed: %s\n", c->id.c_str(), e.what());
+    const auto it = previous.find(c->id);
+    if (it != previous.end()) {
+      CaseRecord r = it->second;
+      r.resumed = true;
+      std::printf("resumed: outputs verified, skipping\n");
+      sweep.report.cases.push_back(std::move(r));
+      continue;
     }
-    r.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    results.push_back(std::move(r));
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - sweep_start)
+                               .count();
+    sweep.run_case(i, c, elapsed);
   }
   const double total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -190,16 +392,39 @@ int main(int argc, char** argv) {
           .count();
 
   std::printf("\n================ sweep summary ================\n");
-  for (const CaseResult& r : results) {
-    std::printf("  %-20s %8.2f s  %s\n", r.c->id.c_str(), r.seconds,
-                r.ok ? "ok" : "FAILED");
+  for (const CaseRecord& r : sweep.report.cases) {
+    std::printf("  %-20s %8.2f s  %s%s\n", r.id.c_str(), r.seconds,
+                r.ok ? "ok" : "FAILED", r.resumed ? " (resumed)" : "");
   }
   std::printf("  %-20s %8.2f s\n", "total", total_seconds);
+  const cgc::bench::IoHealth health = cgc::bench::io_health();
+  if (health.degraded()) {
+    std::printf(
+        "  degraded: %llu chunks quarantined, %llu rows lost, "
+        "%llu values defaulted, %llu bad parse lines\n",
+        static_cast<unsigned long long>(health.chunks_quarantined),
+        static_cast<unsigned long long>(health.rows_lost),
+        static_cast<unsigned long long>(health.values_defaulted),
+        static_cast<unsigned long long>(health.parse_lines_bad));
+  }
 
-  write_report_json(results, total_seconds);
+  sweep.flush(true, total_seconds);
+  std::printf("\nreport written to %s\n", sweep.report_path.c_str());
 
   const bool all_ok =
-      std::all_of(results.begin(), results.end(),
-                  [](const CaseResult& r) { return r.ok; });
-  return all_ok ? 0 : 1;
+      std::all_of(sweep.report.cases.begin(), sweep.report.cases.end(),
+                  [](const CaseRecord& r) { return r.ok; });
+  return all_ok && !health.degraded() ? cgc::util::kExitOk
+                                      : cgc::util::kExitFailure;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return cgc::util::kExitFatal;
+  }
 }

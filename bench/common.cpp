@@ -34,6 +34,13 @@ std::string cache_dir() { return env_or("CGC_BENCH_CACHE", "bench_cache"); }
 /// exercise and for external tooling; loading it upgrades the cache by
 /// writing the .cgcs alongside), then a fresh simulation (cached in
 /// both forms).
+///
+/// Both load tiers run in degraded/tolerant mode: chunk-level store
+/// damage and malformed CSV records are quarantined, accounted via
+/// note_damage()/note_parse(), and the surviving rows are used — the
+/// sweep completes and the loss surfaces in report.json instead of an
+/// abort. Only structurally unreadable store files (header/footer) are
+/// discarded and rebuilt from the next tier.
 trace::TraceSet cached_or_simulate(
     const std::string& key,
     const std::function<trace::TraceSet()>& simulate) {
@@ -42,7 +49,15 @@ trace::TraceSet cached_or_simulate(
   if (std::filesystem::exists(cgcs)) {
     CGC_LOG(kInfo) << "loading cached host-load trace from " << cgcs;
     try {
-      return store::read_cgcs(cgcs);
+      store::DamageReport damage;
+      trace::TraceSet trace = store::read_cgcs_degraded(cgcs, &damage);
+      if (!damage.clean()) {
+        CGC_LOG(kWarn) << "store cache " << cgcs
+                       << " is damaged; continuing degraded ("
+                       << damage.summary() << ")";
+        note_damage(damage);
+      }
+      return trace;
     } catch (const util::Error& e) {
       CGC_LOG(kWarn) << "discarding unreadable store cache " << cgcs << ": "
                      << e.what();
@@ -51,7 +66,15 @@ trace::TraceSet cached_or_simulate(
   }
   if (std::filesystem::exists(dir + "/task_events.csv")) {
     CGC_LOG(kInfo) << "loading cached host-load trace from " << dir;
-    trace::TraceSet trace = trace::read_google_trace(dir, key);
+    trace::ParseOptions options;
+    options.tolerant = true;
+    trace::ParseReport report;
+    trace::TraceSet trace =
+        trace::read_google_trace(dir, key, options, &report);
+    if (!report.clean()) {
+      CGC_LOG(kWarn) << "CSV cache " << dir << ": " << report.summary();
+      note_parse(report);
+    }
     store::write_cgcs(trace, cgcs);
     return trace;
   }
@@ -190,6 +213,36 @@ void print_comparison(const std::string& metric, double paper,
 void print_series_note(const std::string& dat_hint) {
   std::printf("\n  plot series written under %s/ (%s)\n", out_dir().c_str(),
               dat_hint.c_str());
+}
+
+namespace {
+
+std::mutex g_health_mutex;
+IoHealth g_health;
+
+}  // namespace
+
+void note_damage(const store::DamageReport& damage) {
+  if (damage.clean()) {
+    return;
+  }
+  std::lock_guard lock(g_health_mutex);
+  g_health.chunks_quarantined += damage.chunks_quarantined();
+  g_health.rows_lost += damage.rows_lost;
+  g_health.values_defaulted += damage.values_defaulted;
+}
+
+void note_parse(const trace::ParseReport& report) {
+  if (report.clean()) {
+    return;
+  }
+  std::lock_guard lock(g_health_mutex);
+  g_health.parse_lines_bad += report.lines_bad;
+}
+
+IoHealth io_health() {
+  std::lock_guard lock(g_health_mutex);
+  return g_health;
 }
 
 }  // namespace cgc::bench

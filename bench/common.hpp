@@ -17,11 +17,14 @@
 // cases consume it.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "gen/google_model.hpp"
 #include "gen/grid_model.hpp"
 #include "sim/config.hpp"
+#include "store/reader.hpp"
+#include "trace/parse_report.hpp"
 #include "trace/trace_set.hpp"
 
 namespace cgc::bench {
@@ -77,5 +80,31 @@ void print_comparison(const std::string& metric, double paper,
 
 /// Prints the section separator for the raw-series part of the output.
 void print_series_note(const std::string& dat_hint);
+
+/// Degraded-operation accounting aggregated across the process. The
+/// trace cache feeds every store quarantine and tolerant-parse loss it
+/// observes in here; cgc_report stamps the totals into report.json and
+/// turns a nonzero total into a failing (1) exit code, so data loss is
+/// never silent even when every case "succeeds".
+struct IoHealth {
+  std::uint64_t chunks_quarantined = 0;
+  std::uint64_t rows_lost = 0;
+  std::uint64_t values_defaulted = 0;
+  std::uint64_t parse_lines_bad = 0;
+
+  bool degraded() const {
+    return chunks_quarantined != 0 || rows_lost != 0 ||
+           values_defaulted != 0 || parse_lines_bad != 0;
+  }
+};
+
+/// Folds a degraded store read's damage into the process-wide health.
+void note_damage(const store::DamageReport& damage);
+
+/// Folds a tolerant parse's losses into the process-wide health.
+void note_parse(const trace::ParseReport& report);
+
+/// Snapshot of the process-wide degraded-operation accounting.
+IoHealth io_health();
 
 }  // namespace cgc::bench

@@ -1,5 +1,6 @@
 #include "registry.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace cgc::bench {
@@ -21,6 +22,28 @@ const char* kind_name(CaseKind kind) {
 std::vector<BenchCase>& registry() {
   static std::vector<BenchCase> cases;
   return cases;
+}
+
+std::vector<const BenchCase*> sorted_cases() {
+  std::vector<const BenchCase*> cases;
+  for (const BenchCase& c : registry()) {
+    cases.push_back(&c);
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const BenchCase* a, const BenchCase* b) {
+              return std::make_pair(a->kind, a->id) <
+                     std::make_pair(b->kind, b->id);
+            });
+  return cases;
+}
+
+const BenchCase* find_case(const std::string& id) {
+  for (const BenchCase& c : registry()) {
+    if (c.id == id) {
+      return &c;
+    }
+  }
+  return nullptr;
 }
 
 int register_case(BenchCase c) {

@@ -31,6 +31,14 @@ struct BenchCase {
 /// All cases linked into this binary, in registration (link) order.
 std::vector<BenchCase>& registry();
 
+/// All cases in paper order (figures, tables, ablations, extensions;
+/// by id within a kind). Pointers into registry(); stable for the
+/// process lifetime.
+std::vector<const BenchCase*> sorted_cases();
+
+/// Case with the given id, or nullptr.
+const BenchCase* find_case(const std::string& id);
+
 /// Registers a case; returns a dummy for static-init use.
 int register_case(BenchCase c);
 

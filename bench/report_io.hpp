@@ -1,0 +1,73 @@
+// report.json reading/writing for the cgc_report sweep driver.
+//
+// The report is both the sweep's human-readable summary and its
+// checkpoint: cgc_report rewrites it atomically (tmp + rename) after
+// every case, so a sweep killed at any point leaves a valid partial
+// report on disk, and `--resume` reads it back to skip cases whose
+// recorded .dat outputs still hash-match. One case per line keeps the
+// parser here trivial — it only ever reads what write_report() wrote.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgc::bench {
+
+/// One .dat file a case produced: path (relative to CGC_BENCH_OUT),
+/// content hash and size. Resume re-runs the case unless every output
+/// still matches.
+struct CaseOutput {
+  std::string file;
+  std::uint32_t crc = 0;
+  std::uint64_t size = 0;
+};
+
+struct CaseRecord {
+  std::string id;
+  std::string binary;
+  std::string kind;
+  std::string title;
+  double seconds = 0.0;
+  bool ok = false;
+  bool resumed = false;  ///< satisfied from a previous sweep's outputs
+  int attempts = 1;      ///< 1 = first try; >1 means retries happened
+  std::string error;     ///< empty when ok
+  std::vector<CaseOutput> outputs;
+};
+
+struct SweepReport {
+  bool fast_mode = false;
+  std::size_t threads = 0;
+  std::string fault_spec;  ///< active CGC_FAULT_SPEC ("" = none)
+  bool complete = false;   ///< false while the sweep is still running
+  double total_seconds = 0.0;
+  // Degraded-operation accounting aggregated across the sweep (store
+  // quarantines + tolerant-parse losses); all zero on a healthy run.
+  std::uint64_t chunks_quarantined = 0;
+  std::uint64_t rows_lost = 0;
+  std::uint64_t values_defaulted = 0;
+  std::uint64_t parse_lines_bad = 0;
+  std::vector<CaseRecord> cases;
+
+  bool degraded() const {
+    return chunks_quarantined != 0 || rows_lost != 0 ||
+           values_defaulted != 0 || parse_lines_bad != 0;
+  }
+};
+
+/// Writes `report` as JSON to `path` atomically: the content lands in
+/// `path + ".tmp"` first and is renamed over `path`, so readers never
+/// observe a torn file.
+void write_report(const SweepReport& report, const std::string& path);
+
+/// Parses a report written by write_report(). Returns false (leaving
+/// `out` untouched) when the file is missing or not recognizably ours.
+bool read_report(const std::string& path, SweepReport* out);
+
+/// CRC-32 + size of a file's content (.dat series are small enough to
+/// read whole). Returns false when the file cannot be read.
+bool file_crc32(const std::string& path, std::uint32_t* crc,
+                std::uint64_t* size);
+
+}  // namespace cgc::bench

@@ -1,10 +1,14 @@
 // main() for the classic one-case bench_* binaries: runs every case
 // linked into the binary (exactly one, by construction in
 // bench/CMakeLists.txt).
+//
+// Exit codes follow the repo convention (util/check.hpp): 0 ok,
+// 1 case/data failure, 3 fatal environment error.
 #include <cstdio>
 #include <exception>
 
 #include "registry.hpp"
+#include "util/check.hpp"
 
 int main() {
   for (const cgc::bench::BenchCase& c : cgc::bench::registry()) {
@@ -12,8 +16,8 @@ int main() {
       c.fn();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s failed: %s\n", c.id.c_str(), e.what());
-      return 1;
+      return cgc::util::exit_code_for(e);
     }
   }
-  return 0;
+  return cgc::util::kExitOk;
 }

@@ -30,6 +30,7 @@
 #include "trace/gwa_format.hpp"
 #include "trace/swf_format.hpp"
 #include "trace/validate.hpp"
+#include "util/check.hpp"
 #include "util/time_util.hpp"
 
 namespace {
@@ -106,7 +107,7 @@ int usage() {
                "file.cgcs>\n"
                "grid systems: AuverGrid NorduGrid SHARCNET ANL RICC "
                "METACENTRUM LLNL-Atlas DAS-2\n");
-  return 2;
+  return cgc::util::kExitUsage;
 }
 
 }  // namespace
@@ -149,7 +150,7 @@ int main(int argc, char** argv) {
           }
         }
         std::fprintf(stderr, "unknown system: %s\n", what.c_str());
-        return 2;
+        return cgc::util::kExitUsage;
       }
     } else if (command == "google-to-swf") {
       if (argc < 4) {
@@ -206,7 +207,7 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return cgc::util::exit_code_for(e);
   }
-  return 0;
+  return cgc::util::kExitOk;
 }

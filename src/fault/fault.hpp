@@ -1,0 +1,76 @@
+// cgc::fault — deterministic, seeded fault injection.
+//
+// Failure is the common case in the workloads this repo characterizes
+// (59.2% of Google task endings are abnormal, paper §III.A); this
+// subsystem lets us *prove* our own degraded paths work by injecting
+// failures at named sites, reproducibly.
+//
+// A site is a stable string like "store.chunk_crc". Code that wants to
+// be testable under failure asks `inject(site, key)` at the point where
+// the real failure would surface, passing a key that is a stable
+// property of the work item (a chunk's file offset, a parser's line
+// number, a (case, attempt) pair) — never a call counter. Whether a
+// site fires is a pure function of (spec, site, key), so the same spec
+// produces the same failures at any CGC_THREADS setting and in any
+// execution order.
+//
+// Faults are armed via the CGC_FAULT_SPEC environment variable (read
+// once at first use) or configure() (tests). Spec grammar:
+//
+//   spec    := entry (';' entry)*
+//   entry   := site ':' item (',' item)*
+//   item    := 'p=' FLOAT        fire with probability p per key
+//            | 'every=' N        fire when key % N == 0
+//            | 'once=' N         fire only for key == N
+//            | 'seed=' N         seed for the p= hash (default 0)
+//            | 'kind=' KIND      transient | data | fatal
+//
+// e.g. CGC_FAULT_SPEC="store.chunk_crc:p=0.01,seed=42;io.read:every=100"
+//
+// When CGC_FAULT_SPEC is unset the hot-path cost of an injection point
+// is one relaxed atomic load of a process-wide flag — nothing else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cgc::fault {
+
+/// Which error class maybe_throw() raises when a site fires. A spec's
+/// `kind=` overrides the call site's default.
+enum class ErrorKind { kTransient, kData, kFatal };
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+bool should_fail_slow(std::string_view site, std::uint64_t key);
+}  // namespace detail
+
+/// True when any fault spec is armed. One relaxed load; this is the
+/// entire cost of an injection point in a normal (spec-unset) run.
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// True when the fault at `site` fires for stable key `key`. Pure in
+/// (spec, site, key): independent of thread count and call order.
+inline bool inject(std::string_view site, std::uint64_t key) {
+  return armed() && detail::should_fail_slow(site, key);
+}
+
+/// Throws the configured error class (default `fallback`) if `site`
+/// fires for `key`; otherwise a no-op.
+void maybe_throw(std::string_view site, std::uint64_t key,
+                 ErrorKind fallback = ErrorKind::kData);
+
+/// (Re)configures injection from a spec string; empty string disarms.
+/// Throws cgc::util::FatalError on a malformed spec. The environment
+/// spec is installed automatically; this entry point is for tests.
+void configure(const std::string& spec);
+
+/// The currently armed spec string ("" when disarmed). cgc_report
+/// stamps this into report.json so degraded runs are self-describing.
+std::string active_spec();
+
+}  // namespace cgc::fault

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <map>
 
+#include "fault/fault.hpp"
 #include "store/encoding.hpp"
 #include "util/check.hpp"
 #include "exec/parallel.hpp"
@@ -20,11 +21,19 @@ using trace::HostLoadSeries;
 using trace::kNumBands;
 using trace::PriorityBand;
 
+constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
 std::string bad_file(const std::string& path, const std::string& why) {
   return "not a valid CGCS file (" + why + "): " + path;
 }
 
 }  // namespace
+
+std::string DamageReport::summary() const {
+  return std::to_string(chunks.size()) + " chunks quarantined, " +
+         std::to_string(rows_lost) + " rows lost, " +
+         std::to_string(values_defaulted) + " values defaulted";
+}
 
 // Column chunks of one events row group, in decode order.
 struct StoreReader::EventRowGroup {
@@ -38,11 +47,14 @@ struct StoreReader::EventRowGroup {
   std::uint64_t row_count = 0;
 };
 
-StoreReader::StoreReader(const std::string& path) : file_(path) {
+StoreReader::StoreReader(const std::string& path, ReadMode mode)
+    : file_(path), mode_(mode) {
   parse_footer();
-  validate_chunks();
   std::vector<std::atomic<bool>> flags(chunks_.size());
   crc_checked_ = std::move(flags);
+  std::vector<std::atomic<bool>> bad(chunks_.size());
+  chunk_bad_ = std::move(bad);
+  validate_chunks();
 }
 
 StoreReader::~StoreReader() = default;
@@ -133,18 +145,13 @@ void StoreReader::parse_footer() {
   CGC_CHECK_MSG(footer.exhausted(),
                 bad_file(path, "footer has trailing bytes"));
   info_.num_chunks = chunks_.size();
-
-  // Payloads must live in [header, footer).
-  for (const ChunkMeta& c : chunks_) {
-    CGC_CHECK_MSG(c.offset >= kHeaderSize &&
-                      c.offset + c.payload_size <= footer_offset,
-                  bad_file(path, "chunk payload out of bounds"));
-  }
+  footer_offset_ = footer_offset;
 }
 
-void StoreReader::validate_chunks() const {
+void StoreReader::validate_chunks() {
   const std::string& path = file_.path();
-  for (const ChunkMeta& c : chunks_) {
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const ChunkMeta& c = chunks_[i];
     std::uint64_t section_rows = 0;
     switch (c.section) {
       case SectionId::kJobs:
@@ -163,38 +170,120 @@ void StoreReader::validate_chunks() const {
         section_rows = info_.num_hostload_samples;
         break;
     }
-    CGC_CHECK_MSG(c.row_begin + c.row_count <= section_rows,
-                  bad_file(path, "chunk rows exceed section size"));
-    if (c.encoding == Encoding::kRawF32) {
-      CGC_CHECK_MSG(c.payload_size == c.row_count * sizeof(float),
-                    bad_file(path, "raw f32 chunk payload size mismatch"));
-      CGC_CHECK_MSG(c.offset % alignof(float) == 0,
-                    bad_file(path, "raw f32 chunk misaligned"));
-    } else if (c.encoding == Encoding::kRawU8) {
-      CGC_CHECK_MSG(c.payload_size == c.row_count,
-                    bad_file(path, "raw u8 chunk payload size mismatch"));
+    std::string reason;
+    // Payloads must live in [header, footer).
+    if (c.offset < kHeaderSize ||
+        c.offset + c.payload_size > footer_offset_) {
+      reason = "chunk payload out of bounds";
+    } else if (c.row_begin + c.row_count > section_rows) {
+      reason = "chunk rows exceed section size";
+    } else if (c.encoding == Encoding::kRawF32) {
+      if (c.payload_size != c.row_count * sizeof(float)) {
+        reason = "raw f32 chunk payload size mismatch";
+      } else if (c.offset % alignof(float) != 0) {
+        reason = "raw f32 chunk misaligned";
+      }
+    } else if (c.encoding == Encoding::kRawU8 &&
+               c.payload_size != c.row_count) {
+      reason = "raw u8 chunk payload size mismatch";
     }
+    if (reason.empty()) {
+      continue;
+    }
+    if (mode_ == ReadMode::kStrict) {
+      throw util::DataError(bad_file(path, reason));
+    }
+    quarantine(c, reason);
   }
+}
+
+std::size_t StoreReader::chunk_index(const ChunkMeta& chunk) const {
+  const ChunkMeta* base = chunks_.data();
+  return (&chunk >= base && &chunk < base + chunks_.size())
+             ? static_cast<std::size_t>(&chunk - base)
+             : kNoIndex;
+}
+
+std::string StoreReader::verify_payload(const ChunkMeta& chunk) const {
+  // Verify the CRC once per directory chunk; copies of ChunkMeta passed
+  // from outside the directory are verified every time. Races on the
+  // memo flags are benign — both sides compute the same answer.
+  const std::size_t idx = chunk_index(chunk);
+  if (idx != kNoIndex && crc_checked_[idx].load(std::memory_order_relaxed)) {
+    return {};
+  }
+  if (fault::armed() && fault::inject("store.chunk_crc", chunk.offset)) {
+    return "injected fault at store.chunk_crc (section " +
+           std::string(section_name(chunk.section)) + ")";
+  }
+  const auto span = file_.data().subspan(chunk.offset, chunk.payload_size);
+  if (crc32(span) != chunk.crc) {
+    return "chunk CRC mismatch in section " +
+           std::string(section_name(chunk.section));
+  }
+  if (idx != kNoIndex) {
+    crc_checked_[idx].store(true, std::memory_order_relaxed);
+  }
+  return {};
+}
+
+void StoreReader::quarantine(const ChunkMeta& chunk,
+                             const std::string& reason) const {
+  const std::size_t idx = chunk_index(chunk);
+  std::lock_guard lock(damage_mutex_);
+  if (idx != kNoIndex) {
+    if (chunk_bad_[idx].load(std::memory_order_relaxed)) {
+      return;  // already recorded by another accessor
+    }
+    chunk_bad_[idx].store(true, std::memory_order_relaxed);
+  }
+  QuarantinedChunk q;
+  q.section = chunk.section;
+  q.column = chunk.column;
+  q.offset = chunk.offset;
+  q.payload_size = chunk.payload_size;
+  q.row_begin = chunk.row_begin;
+  q.row_count = chunk.row_count;
+  q.reason = reason;
+  damage_.chunks.push_back(std::move(q));
+}
+
+bool StoreReader::chunk_ok(const ChunkMeta& chunk) const noexcept {
+  const std::size_t idx = chunk_index(chunk);
+  if (idx != kNoIndex &&
+      chunk_bad_[idx].load(std::memory_order_relaxed)) {
+    return false;
+  }
+  const std::string reason = verify_payload(chunk);
+  if (reason.empty()) {
+    return true;
+  }
+  quarantine(chunk, reason);
+  return false;
+}
+
+DamageReport StoreReader::damage() const {
+  std::lock_guard lock(damage_mutex_);
+  return damage_;
 }
 
 std::span<const std::uint8_t> StoreReader::payload(
     const ChunkMeta& chunk) const {
-  const auto span = file_.data().subspan(chunk.offset, chunk.payload_size);
-  // Verify the CRC once per chunk; copies of ChunkMeta passed from
-  // outside the directory are verified every time.
-  const ChunkMeta* base = chunks_.data();
-  const bool in_directory = &chunk >= base && &chunk < base + chunks_.size();
-  const std::size_t idx = in_directory ? &chunk - base : 0;
-  if (!in_directory || !crc_checked_[idx].load(std::memory_order_relaxed)) {
-    CGC_CHECK_MSG(crc32(span) == chunk.crc,
-                  bad_file(file_.path(),
-                           "chunk CRC mismatch in section " +
-                               std::string(section_name(chunk.section))));
-    if (in_directory) {
-      crc_checked_[idx].store(true, std::memory_order_relaxed);
-    }
+  const std::size_t idx = chunk_index(chunk);
+  if (idx != kNoIndex &&
+      chunk_bad_[idx].load(std::memory_order_relaxed)) {
+    throw util::DataError(
+        bad_file(file_.path(), "access to quarantined chunk in section " +
+                                   std::string(section_name(chunk.section))));
   }
-  return span;
+  const std::string reason = verify_payload(chunk);
+  if (!reason.empty()) {
+    if (mode_ == ReadMode::kDegraded) {
+      quarantine(chunk, reason);
+    }
+    throw util::DataError(bad_file(file_.path(), reason));
+  }
+  return file_.data().subspan(chunk.offset, chunk.payload_size);
 }
 
 std::vector<const ChunkMeta*> StoreReader::column_chunks(
@@ -299,9 +388,41 @@ trace::TraceSet StoreReader::load_trace_set() const {
     return *c;
   };
 
+  // Degraded mode drops whole row groups: a columnar row with one
+  // damaged column is not a usable record, and group granularity keeps
+  // the surviving rows exactly as written. Lost ranges are compacted
+  // out after the parallel fill (each group writes to its own disjoint
+  // range, so dropped groups simply leave holes to erase).
+  std::mutex lost_mutex;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> lost_tasks;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> lost_events;
+  auto group_damaged = [&](const RowGroupChunks& g) {
+    if (mode_ != ReadMode::kDegraded) {
+      return false;
+    }
+    bool bad = false;
+    for (const ChunkMeta* c : g.cols) {
+      // Check every column (no short-circuit) so the DamageReport lists
+      // all damaged chunks, not just the first per group.
+      if (c != nullptr && !chunk_ok(*c)) {
+        bad = true;
+      }
+    }
+    return bad;
+  };
+  auto account_lost_rows = [&](std::uint64_t rows) {
+    std::lock_guard lock(damage_mutex_);
+    damage_.rows_lost += rows;
+  };
+
   const std::vector<RowGroupChunks> task_groups = group_rows(SectionId::kTasks);
   exec::parallel_for(0, task_groups.size(), [&](std::size_t gi) {
     const RowGroupChunks& g = task_groups[gi];
+    if (group_damaged(g)) {
+      std::lock_guard lock(lost_mutex);
+      lost_tasks.emplace_back(g.row_begin, g.row_count);
+      return;
+    }
     std::vector<std::int64_t> jid, tidx, submit, sched, end_t, mid, resub;
     decode_i64(need(g, ColumnId::kJobId), &jid);
     decode_i64(need(g, ColumnId::kTaskIndex), &tidx);
@@ -339,6 +460,11 @@ trace::TraceSet StoreReader::load_trace_set() const {
       group_rows(SectionId::kEvents);
   exec::parallel_for(0, event_groups.size(), [&](std::size_t gi) {
     const RowGroupChunks& g = event_groups[gi];
+    if (group_damaged(g)) {
+      std::lock_guard lock(lost_mutex);
+      lost_events.emplace_back(g.row_begin, g.row_count);
+      return;
+    }
     std::vector<std::int64_t> time, jid, tidx, mid;
     decode_i64(need(g, ColumnId::kTime), &time);
     decode_i64(need(g, ColumnId::kJobId), &jid);
@@ -358,11 +484,36 @@ trace::TraceSet StoreReader::load_trace_set() const {
     }
   }, /*grain=*/1);
 
+  // Compact the dropped row groups out of the task/event arrays,
+  // highest range first so earlier offsets stay valid.
+  auto compact = [&]<typename T>(std::vector<T>* rows,
+                                 std::vector<std::pair<std::uint64_t,
+                                                       std::uint64_t>>
+                                     lost) {
+    std::sort(lost.begin(), lost.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [begin, count] : lost) {
+      rows->erase(rows->begin() + static_cast<std::ptrdiff_t>(begin),
+                  rows->begin() + static_cast<std::ptrdiff_t>(begin + count));
+      account_lost_rows(count);
+    }
+  };
+  compact(&tasks, std::move(lost_tasks));
+  compact(&events, std::move(lost_events));
+
   // The remaining sections are small (jobs, machines) or already land
   // in flat per-column arrays (host load), so they decode chunk-wise.
+  // A damaged chunk here loses one column of a row range, not the whole
+  // record: degraded mode leaves those values zero-filled and accounts
+  // them, which keeps the host-load series time grids intact.
   exec::parallel_for(0, chunks_.size(), [&](std::size_t ci) {
     const ChunkMeta& c = chunks_[ci];
     if (c.section == SectionId::kTasks || c.section == SectionId::kEvents) {
+      return;
+    }
+    if (mode_ == ReadMode::kDegraded && !chunk_ok(c)) {
+      std::lock_guard lock(damage_mutex_);
+      damage_.values_defaulted += c.row_count;
       return;
     }
     const std::size_t lo = c.row_begin;
@@ -633,6 +784,21 @@ ScanStats StoreReader::scan(
   std::atomic<std::size_t> matched{0};
   exec::parallel_for(0, survivors.size(), [&](std::size_t gi) {
     const EventRowGroup& g = *survivors[gi];
+    if (mode_ == ReadMode::kDegraded) {
+      bool bad = false;
+      for (const ChunkMeta* c :
+           {g.time, g.job_id, g.task_index, g.machine_id, g.type,
+            g.priority}) {
+        if (!chunk_ok(*c)) {
+          bad = true;  // keep checking: record every damaged chunk
+        }
+      }
+      if (bad) {
+        std::lock_guard lock(damage_mutex_);
+        damage_.rows_lost += g.row_count;
+        return;
+      }
+    }
     std::vector<std::int64_t> time, job_id, task_index, machine_id;
     decode_i64(*g.time, &time);
     decode_i64(*g.job_id, &job_id);
@@ -678,6 +844,16 @@ std::vector<trace::TaskEvent> StoreReader::query_events(
 
 trace::TraceSet read_cgcs(const std::string& path) {
   return StoreReader(path).load_trace_set();
+}
+
+trace::TraceSet read_cgcs_degraded(const std::string& path,
+                                   DamageReport* damage) {
+  const StoreReader reader(path, ReadMode::kDegraded);
+  trace::TraceSet trace = reader.load_trace_set();
+  if (damage != nullptr) {
+    *damage = reader.damage();
+  }
+  return trace;
 }
 
 }  // namespace cgc::store

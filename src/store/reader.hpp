@@ -9,13 +9,21 @@
 //
 // Validation: header/trailer magic, format version, footer CRC and
 // bounds are checked at open; each chunk's CRC-32 is checked once on
-// first access. Corrupted or truncated files throw cgc::util::Error.
+// first access. Corrupted or truncated files throw cgc::util::DataError
+// in strict mode. In degraded mode (ReadMode::kDegraded) damaged chunks
+// are quarantined instead: scans skip the row groups they belong to,
+// load_trace_set() drops (tasks/events) or zero-fills (small sections)
+// the affected rows, and the per-reader DamageReport accounts for every
+// chunk skipped, row lost, and byte range affected. Structural damage —
+// header, trailer, or footer — is unrecoverable in either mode because
+// without the directory there is nothing to quarantine.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -26,6 +34,39 @@
 #include "trace/trace_set.hpp"
 
 namespace cgc::store {
+
+/// How a reader treats damaged chunks.
+enum class ReadMode {
+  kStrict,    ///< any damage throws cgc::util::DataError
+  kDegraded,  ///< quarantine, continue, account in damage()
+};
+
+/// One quarantined chunk: where it lived and why it was rejected.
+struct QuarantinedChunk {
+  SectionId section = SectionId::kJobs;
+  ColumnId column = ColumnId::kJobId;
+  std::uint64_t offset = 0;        ///< byte range start of the payload
+  std::uint64_t payload_size = 0;  ///< byte range length
+  std::uint64_t row_begin = 0;
+  std::uint64_t row_count = 0;
+  std::string reason;
+};
+
+/// What a degraded read lost. rows_lost counts tasks/events rows whose
+/// row group was dropped; values_defaulted counts rows of small-section
+/// columns (jobs/machines/host-load) that were zero-filled because
+/// their chunk was quarantined.
+struct DamageReport {
+  std::vector<QuarantinedChunk> chunks;
+  std::uint64_t rows_lost = 0;
+  std::uint64_t values_defaulted = 0;
+
+  bool clean() const { return chunks.empty(); }
+  std::size_t chunks_quarantined() const { return chunks.size(); }
+  /// One-line human summary, e.g. "3 chunks quarantined, 131072 rows
+  /// lost, 0 values defaulted".
+  std::string summary() const;
+};
 
 /// Summary of an open store file.
 struct StoreInfo {
@@ -68,9 +109,13 @@ struct ScanStats {
 
 class StoreReader {
  public:
-  /// Opens and validates `path`; throws cgc::util::Error on a missing,
-  /// truncated, or corrupted file.
-  explicit StoreReader(const std::string& path);
+  /// Opens and validates `path`; throws cgc::util::Error on a missing
+  /// or structurally damaged file (header/trailer/footer). In strict
+  /// mode chunk-level damage also throws (cgc::util::DataError), on
+  /// first access; in degraded mode it is quarantined and accounted in
+  /// damage().
+  explicit StoreReader(const std::string& path,
+                       ReadMode mode = ReadMode::kStrict);
   ~StoreReader();
 
   StoreReader(const StoreReader&) = delete;
@@ -79,6 +124,17 @@ class StoreReader {
   const StoreInfo& info() const { return info_; }
   const std::string& path() const { return file_.path(); }
   const std::vector<ChunkMeta>& chunks() const { return chunks_; }
+  ReadMode mode() const { return mode_; }
+
+  /// Damage quarantined so far (grows as scans touch damaged chunks;
+  /// a given chunk is recorded once). Empty in strict mode.
+  DamageReport damage() const;
+
+  /// Verifies one directory chunk (bounds + CRC, memoized) without
+  /// throwing. In degraded mode a failure quarantines the chunk; in
+  /// strict mode the next payload access will throw. cgc_fsck uses
+  /// this to sweep a whole file.
+  bool chunk_ok(const ChunkMeta& chunk) const noexcept;
 
   /// Chunk directory entries for one column, ordered by row_begin.
   std::vector<const ChunkMeta*> column_chunks(SectionId section,
@@ -96,13 +152,18 @@ class StoreReader {
   /// Materializes the full TraceSet. Row groups decode in parallel via
   /// cgc::exec (each group owns a disjoint row range, so the fan-out is
   /// race free and the result independent of the thread count); the
-  /// result is finalized and ready for analyzers.
+  /// result is finalized and ready for analyzers. Degraded mode drops
+  /// damaged tasks/events row groups (the arrays are compacted) and
+  /// zero-fills damaged small-section columns, accounting both in
+  /// damage().
   trace::TraceSet load_trace_set() const;
 
   /// Streams events matching `predicate` to `fn`, one span per row
   /// group, in file order. Row groups whose time/job_id zone maps fall
   /// outside the predicate are skipped without decoding; surviving
-  /// groups decode in parallel. `fn` is invoked serially.
+  /// groups decode in parallel. `fn` is invoked serially. Degraded
+  /// mode skips row groups with any damaged column chunk and adds
+  /// their row_count to damage().rows_lost.
   ScanStats scan(
       const EventPredicate& predicate,
       const std::function<void(std::span<const trace::TaskEvent>)>& fn) const;
@@ -116,11 +177,20 @@ class StoreReader {
 
   std::span<const std::uint8_t> payload(const ChunkMeta& chunk) const;
   void parse_footer();
-  void validate_chunks() const;
+  void validate_chunks();
   std::vector<EventRowGroup> event_row_groups() const;
+  /// Directory index of `chunk`, or npos for a copy from outside.
+  std::size_t chunk_index(const ChunkMeta& chunk) const;
+  /// "" when the chunk's payload verifies (fault injection + CRC),
+  /// else the reason it does not. Memoizes success for directory
+  /// chunks.
+  std::string verify_payload(const ChunkMeta& chunk) const;
+  void quarantine(const ChunkMeta& chunk, const std::string& reason) const;
 
   MmapFile file_;
+  ReadMode mode_ = ReadMode::kStrict;
   StoreInfo info_;
+  std::uint64_t footer_offset_ = 0;
   /// (machine_id, start, period, sample_count) per host-load series.
   struct SeriesMeta {
     std::int64_t machine_id = 0;
@@ -133,9 +203,18 @@ class StoreReader {
   /// One flag per chunk: CRC verified. First access verifies; races are
   /// benign (both sides compute the same answer).
   mutable std::vector<std::atomic<bool>> crc_checked_;
+  /// One flag per chunk: known damaged (bounds at open, CRC on access).
+  mutable std::vector<std::atomic<bool>> chunk_bad_;
+  mutable std::mutex damage_mutex_;
+  mutable DamageReport damage_;
 };
 
 /// Convenience one-shot: open, materialize, close.
 trace::TraceSet read_cgcs(const std::string& path);
+
+/// Degraded one-shot: open in ReadMode::kDegraded, materialize what
+/// survives, report what did not via `damage` (if non-null).
+trace::TraceSet read_cgcs_degraded(const std::string& path,
+                                   DamageReport* damage = nullptr);
 
 }  // namespace cgc::store

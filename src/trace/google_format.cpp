@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <unordered_map>
 
+#include "fault/fault.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -130,10 +131,20 @@ void write_google_trace(const TraceSet& trace, const std::string& directory) {
 
 namespace {
 
-void read_task_events(const std::string& path, TraceSet* trace) {
+void read_task_events(const std::string& path, TraceSet* trace,
+                      const ParseOptions& options, ParseReport* report) {
   util::CsvReader in(path);
   while (in.next_record()) {
+    if (fault::armed()) {
+      // I/O failures are not a property of the record, so they bypass
+      // tolerant accounting and propagate even in tolerant mode.
+      fault::maybe_throw("io.read", in.line_number(),
+                         fault::ErrorKind::kTransient);
+    }
     try {
+      if (fault::armed()) {
+        fault::maybe_throw("trace.parse_line", in.line_number());
+      }
       const auto& f = in.fields();
       CGC_CHECK_MSG(f.size() >= 9,
                     "task_events row too short (truncated record?)");
@@ -148,16 +159,30 @@ void read_task_events(const std::string& path, TraceSet* trace) {
                     "priority out of range");
       e.priority = static_cast<std::uint8_t>(file_priority + 1);
       trace->add_event(e);
+      if (report != nullptr) {
+        ++report->records_ok;
+      }
+    } catch (const util::TransientError&) {
+      throw;  // an I/O-class failure, not a bad record
     } catch (const util::Error& e) {
-      util::throw_parse_error(path, in.line_number(), e.what());
+      detail::handle_bad_line(options, report, path, in.line_number(),
+                              e.what());
     }
   }
 }
 
-void read_machine_events(const std::string& path, TraceSet* trace) {
+void read_machine_events(const std::string& path, TraceSet* trace,
+                         const ParseOptions& options, ParseReport* report) {
   util::CsvReader in(path);
   while (in.next_record()) {
+    if (fault::armed()) {
+      fault::maybe_throw("io.read", in.line_number(),
+                         fault::ErrorKind::kTransient);
+    }
     try {
+      if (fault::armed()) {
+        fault::maybe_throw("trace.parse_line", in.line_number());
+      }
       const auto& f = in.fields();
       CGC_CHECK_MSG(f.size() >= 6,
                     "machine_events row too short (truncated record?)");
@@ -172,24 +197,38 @@ void read_machine_events(const std::string& path, TraceSet* trace) {
       m.cpu_capacity = static_cast<float>(util::parse_double(f[4]));
       m.mem_capacity = static_cast<float>(util::parse_double(f[5]));
       trace->add_machine(m);
+      if (report != nullptr) {
+        ++report->records_ok;
+      }
+    } catch (const util::TransientError&) {
+      throw;  // an I/O-class failure, not a bad record
     } catch (const util::Error& e) {
-      util::throw_parse_error(path, in.line_number(), e.what());
+      detail::handle_bad_line(options, report, path, in.line_number(),
+                              e.what());
     }
   }
 }
 
-void read_host_usage(const std::string& path, TraceSet* trace) {
+void read_host_usage(const std::string& path, TraceSet* trace,
+                     const ParseOptions& options, ParseReport* report) {
   util::CsvReader in(path);
   std::unordered_map<std::int64_t, HostLoadSeries> series;
   while (in.next_record()) {
+    if (fault::armed()) {
+      fault::maybe_throw("io.read", in.line_number(),
+                         fault::ErrorKind::kTransient);
+    }
     try {
+      if (fault::armed()) {
+        fault::maybe_throw("trace.parse_line", in.line_number());
+      }
       const auto& f = in.fields();
       CGC_CHECK_MSG(f.size() >= 12,
                     "host_usage row too short (truncated record?)");
+      // Parse every field before touching `series` so a malformed record
+      // skipped in tolerant mode leaves no half-built entry behind.
       const std::int64_t machine_id = util::parse_int(f[0]);
       const TimeSec time = util::parse_int(f[1]);
-      auto [it, inserted] = series.try_emplace(
-          machine_id, machine_id, time, util::kSamplePeriod);
       const float cpu[kNumBands] = {
           static_cast<float>(util::parse_double(f[2])),
           static_cast<float>(util::parse_double(f[3])),
@@ -198,12 +237,24 @@ void read_host_usage(const std::string& path, TraceSet* trace) {
           static_cast<float>(util::parse_double(f[5])),
           static_cast<float>(util::parse_double(f[6])),
           static_cast<float>(util::parse_double(f[7]))};
-      it->second.append(cpu, mem, static_cast<float>(util::parse_double(f[8])),
-                        static_cast<float>(util::parse_double(f[9])),
-                        static_cast<std::int32_t>(util::parse_int(f[10])),
-                        static_cast<std::int32_t>(util::parse_int(f[11])));
+      const float mem_assigned =
+          static_cast<float>(util::parse_double(f[8]));
+      const float page_cache = static_cast<float>(util::parse_double(f[9]));
+      const std::int32_t running =
+          static_cast<std::int32_t>(util::parse_int(f[10]));
+      const std::int32_t pending =
+          static_cast<std::int32_t>(util::parse_int(f[11]));
+      auto [it, inserted] = series.try_emplace(
+          machine_id, machine_id, time, util::kSamplePeriod);
+      it->second.append(cpu, mem, mem_assigned, page_cache, running, pending);
+      if (report != nullptr) {
+        ++report->records_ok;
+      }
+    } catch (const util::TransientError&) {
+      throw;  // an I/O-class failure, not a bad record
     } catch (const util::Error& e) {
-      util::throw_parse_error(path, in.line_number(), e.what());
+      detail::handle_bad_line(options, report, path, in.line_number(),
+                              e.what());
     }
   }
   for (auto& [id, s] : series) {
@@ -302,6 +353,12 @@ void rebuild_tasks_and_jobs(TraceSet* trace) {
 
 TraceSet read_google_trace(const std::string& directory,
                            const std::string& system_name) {
+  return read_google_trace(directory, system_name, ParseOptions{}, nullptr);
+}
+
+TraceSet read_google_trace(const std::string& directory,
+                           const std::string& system_name,
+                           const ParseOptions& options, ParseReport* report) {
   TraceSet trace(system_name);
   const std::string task_events_path = directory + "/task_events.csv";
   const std::string machine_events_path = directory + "/machine_events.csv";
@@ -309,12 +366,12 @@ TraceSet read_google_trace(const std::string& directory,
 
   CGC_CHECK_MSG(std::filesystem::exists(task_events_path),
                 "missing " + task_events_path);
-  read_task_events(task_events_path, &trace);
+  read_task_events(task_events_path, &trace, options, report);
   if (std::filesystem::exists(machine_events_path)) {
-    read_machine_events(machine_events_path, &trace);
+    read_machine_events(machine_events_path, &trace, options, report);
   }
   if (std::filesystem::exists(host_usage_path)) {
-    read_host_usage(host_usage_path, &trace);
+    read_host_usage(host_usage_path, &trace, options, report);
   }
   trace.finalize();  // sort events before reconstruction
   rebuild_tasks_and_jobs(&trace);

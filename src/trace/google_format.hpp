@@ -26,6 +26,7 @@
 
 #include <string>
 
+#include "trace/parse_report.hpp"
 #include "trace/trace_set.hpp"
 
 namespace cgc::trace {
@@ -51,6 +52,13 @@ void write_google_trace(const TraceSet& trace, const std::string& directory);
 /// no host_usage.csv).
 TraceSet read_google_trace(const std::string& directory,
                            const std::string& system_name = "google-trace");
+
+/// As above, honoring `options` (tolerant mode skips and accounts bad
+/// records into `report`, which aggregates across the three tables; see
+/// parse_report.hpp).
+TraceSet read_google_trace(const std::string& directory,
+                           const std::string& system_name,
+                           const ParseOptions& options, ParseReport* report);
 
 /// Reconstructs per-task and per-job records from an event stream.
 /// Exposed separately so tests can exercise the state-machine

@@ -3,12 +3,18 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 
 namespace cgc::trace {
 
 TraceSet read_gwa(const std::string& path, const std::string& system_name) {
+  return read_gwa(path, system_name, ParseOptions{}, nullptr);
+}
+
+TraceSet read_gwa(const std::string& path, const std::string& system_name,
+                  const ParseOptions& options, ParseReport* report) {
   std::ifstream in(path);
   CGC_CHECK_MSG(in.good(), "cannot open GWA file: " + path);
   TraceSet trace(system_name);
@@ -19,6 +25,11 @@ TraceSet read_gwa(const std::string& path, const std::string& system_name) {
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    if (fault::armed()) {
+      // I/O failures are not a property of the record, so they bypass
+      // tolerant accounting and propagate even in tolerant mode.
+      fault::maybe_throw("io.read", line_number, fault::ErrorKind::kTransient);
+    }
     if (!line.empty() && line.back() == '\r') {
       line.pop_back();
     }
@@ -42,6 +53,9 @@ TraceSet read_gwa(const std::string& path, const std::string& system_name) {
       fields.push_back(std::string_view(line).substr(start, i - start));
     }
     try {
+      if (fault::armed()) {
+        fault::maybe_throw("trace.parse_line", line_number);
+      }
       CGC_CHECK_MSG(fields.size() >= 11,
                     "GWA row needs >= 11 fields (truncated record?)");
 
@@ -80,8 +94,13 @@ TraceSet read_gwa(const std::string& path, const std::string& system_name) {
       task.cpu_usage = job.cpu_parallelism;
       task.mem_usage = job.mem_usage;
       trace.add_task(task);
+      if (report != nullptr) {
+        ++report->records_ok;
+      }
+    } catch (const util::TransientError&) {
+      throw;  // an I/O-class failure, not a bad record
     } catch (const util::Error& e) {
-      util::throw_parse_error(path, line_number, e.what());
+      detail::handle_bad_line(options, report, path, line_number, e.what());
     }
   }
   CGC_CHECK_MSG(!in.bad(), "I/O error while reading " + path);

@@ -11,12 +11,19 @@
 
 #include <string>
 
+#include "trace/parse_report.hpp"
 #include "trace/trace_set.hpp"
 
 namespace cgc::trace {
 
-/// Parses a GWA .gwf file into a workload-only TraceSet.
+/// Parses a GWA .gwf file into a workload-only TraceSet. Strict: the
+/// first malformed record throws.
 TraceSet read_gwa(const std::string& path, const std::string& system_name);
+
+/// As above, honoring `options` (tolerant mode skips and accounts bad
+/// records into `report`; see parse_report.hpp).
+TraceSet read_gwa(const std::string& path, const std::string& system_name,
+                  const ParseOptions& options, ParseReport* report);
 
 /// Writes jobs of `trace` in GWA layout.
 void write_gwa(const TraceSet& trace, const std::string& path);

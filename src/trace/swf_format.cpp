@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 
@@ -34,6 +35,11 @@ std::vector<std::string_view> split_ws(std::string_view line,
 }  // namespace
 
 TraceSet read_swf(const std::string& path, const std::string& system_name) {
+  return read_swf(path, system_name, ParseOptions{}, nullptr);
+}
+
+TraceSet read_swf(const std::string& path, const std::string& system_name,
+                  const ParseOptions& options, ParseReport* report) {
   std::ifstream in(path);
   CGC_CHECK_MSG(in.good(), "cannot open SWF file: " + path);
   TraceSet trace(system_name);
@@ -44,6 +50,11 @@ TraceSet read_swf(const std::string& path, const std::string& system_name) {
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    if (fault::armed()) {
+      // I/O failures are not a property of the record, so they bypass
+      // tolerant accounting and propagate even in tolerant mode.
+      fault::maybe_throw("io.read", line_number, fault::ErrorKind::kTransient);
+    }
     if (!line.empty() && line.back() == '\r') {
       line.pop_back();
     }
@@ -52,6 +63,9 @@ TraceSet read_swf(const std::string& path, const std::string& system_name) {
     }
     split_ws(line, &fields);
     try {
+      if (fault::armed()) {
+        fault::maybe_throw("trace.parse_line", line_number);
+      }
       CGC_CHECK_MSG(fields.size() >= 18,
                     "SWF row needs 18 fields (truncated record?)");
       const std::int64_t job_number = util::parse_int(fields[0]);
@@ -95,8 +109,13 @@ TraceSet read_swf(const std::string& path, const std::string& system_name) {
       task.cpu_usage = job.cpu_parallelism;
       task.mem_usage = job.mem_usage;
       trace.add_task(task);
+      if (report != nullptr) {
+        ++report->records_ok;
+      }
+    } catch (const util::TransientError&) {
+      throw;  // an I/O-class failure, not a bad record
     } catch (const util::Error& e) {
-      util::throw_parse_error(path, line_number, e.what());
+      detail::handle_bad_line(options, report, path, line_number, e.what());
     }
   }
   CGC_CHECK_MSG(!in.bad(), "I/O error while reading " + path);

@@ -18,12 +18,19 @@
 
 #include <string>
 
+#include "trace/parse_report.hpp"
 #include "trace/trace_set.hpp"
 
 namespace cgc::trace {
 
-/// Parses an SWF file into a workload-only TraceSet.
+/// Parses an SWF file into a workload-only TraceSet. Strict: the first
+/// malformed record throws.
 TraceSet read_swf(const std::string& path, const std::string& system_name);
+
+/// As above, honoring `options` (tolerant mode skips and accounts bad
+/// records into `report`; see parse_report.hpp).
+TraceSet read_swf(const std::string& path, const std::string& system_name,
+                  const ParseOptions& options, ParseReport* report);
 
 /// Writes jobs of `trace` as SWF (fields we do not track are -1).
 void write_swf(const TraceSet& trace, const std::string& path);

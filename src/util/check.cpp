@@ -2,7 +2,16 @@
 
 #include <sstream>
 
-namespace cgc::util::detail {
+namespace cgc::util {
+
+int exit_code_for(const std::exception& e) {
+  if (dynamic_cast<const FatalError*>(&e) != nullptr) {
+    return kExitFatal;
+  }
+  return kExitFailure;
+}
+
+namespace detail {
 
 void fail_check(const char* expr, const char* file, int line,
                 const std::string& message) {
@@ -14,4 +23,5 @@ void fail_check(const char* expr, const char* file, int line,
   throw Error(oss.str());
 }
 
-}  // namespace cgc::util::detail
+}  // namespace detail
+}  // namespace cgc::util

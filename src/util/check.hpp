@@ -17,6 +17,41 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Error taxonomy. Callers that recover (retry loops, degraded scans)
+/// dispatch on these subclasses; everything still catches as Error.
+///
+/// TransientError — the operation may succeed if simply retried
+/// (interrupted I/O, a busy resource, an injected transient fault).
+class TransientError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// DataError — the input itself is damaged or malformed (CRC mismatch,
+/// truncated record, garbage field). Retrying cannot help; skipping and
+/// accounting for the damaged region can.
+class DataError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// FatalError — the environment or configuration is unusable (bad
+/// CGC_FAULT_SPEC, unwritable output directory). Abort, do not retry.
+class FatalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Process exit codes shared by every bench binary and tool:
+///   0 ok · 1 case/data failure · 2 usage error · 3 fatal environment.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFailure = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitFatal = 3;
+
+/// Maps a caught exception onto the exit-code taxonomy.
+int exit_code_for(const std::exception& e);
+
 namespace detail {
 [[noreturn]] void fail_check(const char* expr, const char* file, int line,
                              const std::string& message);

@@ -1,0 +1,167 @@
+// Tests for cgc::fault: spec parsing, trigger semantics, error-kind
+// mapping, and — the property everything else leans on — determinism
+// of fire decisions at any worker count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "exec/parallel.hpp"
+#include "fault/fault.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cgc::fault {
+namespace {
+
+/// Every test leaves the process disarmed, whatever happens inside.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { configure(""); }
+};
+
+TEST_F(FaultTest, DisarmedByDefault) {
+  configure("");
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(inject("store.chunk_crc", 0));
+  EXPECT_NO_THROW(maybe_throw("store.chunk_crc", 0));
+  EXPECT_EQ(active_spec(), "");
+}
+
+TEST_F(FaultTest, MalformedSpecsThrowFatal) {
+  EXPECT_THROW(configure("site"), util::FatalError);          // no items
+  EXPECT_THROW(configure("site:"), util::FatalError);         // empty items
+  EXPECT_THROW(configure("site:seed=1"), util::FatalError);   // no trigger
+  EXPECT_THROW(configure("site:p=2"), util::FatalError);      // p out of range
+  EXPECT_THROW(configure("site:p=-0.5"), util::FatalError);
+  EXPECT_THROW(configure("site:every=0"), util::FatalError);
+  EXPECT_THROW(configure("site:every=x"), util::FatalError);
+  EXPECT_THROW(configure("site:bogus=1"), util::FatalError);  // unknown key
+  EXPECT_THROW(configure("site:kind=nope,p=1"), util::FatalError);
+  EXPECT_THROW(configure(":p=1"), util::FatalError);          // empty site
+  // A failed configure must not leave a half-armed state.
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FaultTest, EveryTrigger) {
+  configure("s:every=10");
+  EXPECT_TRUE(armed());
+  EXPECT_EQ(active_spec(), "s:every=10");
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(inject("s", key), key % 10 == 0) << key;
+  }
+  EXPECT_FALSE(inject("other_site", 0));  // unnamed sites never fire
+}
+
+TEST_F(FaultTest, OnceTrigger) {
+  configure("s:once=42");
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(inject("s", key), key == 42) << key;
+  }
+  // `once` is keyed, not counted: asking again gives the same answer.
+  EXPECT_TRUE(inject("s", 42));
+}
+
+TEST_F(FaultTest, ProbabilityExtremes) {
+  configure("s:p=1");
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_TRUE(inject("s", key));
+  }
+  configure("s:p=0");
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_FALSE(inject("s", key));
+  }
+}
+
+TEST_F(FaultTest, ProbabilityRoughlyCalibrated) {
+  configure("s:p=0.1,seed=7");
+  int fired = 0;
+  for (std::uint64_t key = 0; key < 10000; ++key) {
+    fired += inject("s", key) ? 1 : 0;
+  }
+  // ~30 sigma around the binomial mean of 1000 — deterministic anyway,
+  // the bound only documents the intent.
+  EXPECT_GT(fired, 700);
+  EXPECT_LT(fired, 1300);
+}
+
+TEST_F(FaultTest, ProbabilityIsPureInSpecSiteKey) {
+  const auto fired_set = [](const std::string& spec) {
+    configure(spec);
+    std::set<std::uint64_t> fired;
+    for (std::uint64_t key = 0; key < 2000; ++key) {
+      if (inject("s", key)) {
+        fired.insert(key);
+      }
+    }
+    return fired;
+  };
+  const auto a = fired_set("s:p=0.05,seed=42");
+  const auto b = fired_set("s:p=0.05,seed=42");
+  EXPECT_EQ(a, b);  // same spec -> identical decisions
+  const auto c = fired_set("s:p=0.05,seed=43");
+  EXPECT_NE(a, c);  // different seed -> different pattern
+}
+
+TEST_F(FaultTest, SitesAreIndependent) {
+  configure("a:every=2;b:every=3,seed=5");
+  for (std::uint64_t key = 0; key < 30; ++key) {
+    EXPECT_EQ(inject("a", key), key % 2 == 0);
+    EXPECT_EQ(inject("b", key), key % 3 == 0);
+  }
+}
+
+TEST_F(FaultTest, MaybeThrowKinds) {
+  configure("s:every=1");
+  EXPECT_THROW(maybe_throw("s", 0), util::DataError);  // default fallback
+  EXPECT_THROW(maybe_throw("s", 0, ErrorKind::kTransient),
+               util::TransientError);
+  configure("s:every=1,kind=transient");
+  EXPECT_THROW(maybe_throw("s", 0), util::TransientError);
+  configure("s:every=1,kind=data");
+  EXPECT_THROW(maybe_throw("s", 0, ErrorKind::kTransient), util::DataError);
+  configure("s:every=1,kind=fatal");
+  EXPECT_THROW(maybe_throw("s", 0), util::FatalError);
+  // The error message names the site, so a surfaced failure is
+  // attributable.
+  try {
+    maybe_throw("s", 7);
+    FAIL() << "expected an injected error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("s"), std::string::npos);
+  }
+}
+
+TEST_F(FaultTest, DecisionsIndependentOfWorkerCount) {
+  configure("s:p=0.2,seed=11");
+  constexpr std::uint64_t kKeys = 4096;
+
+  const auto collect = [] {
+    std::vector<char> fired(kKeys, 0);
+    exec::parallel_for_chunked(
+        0, kKeys, [&fired](std::size_t lo, std::size_t hi) {
+          for (std::size_t key = lo; key < hi; ++key) {
+            fired[key] = inject("s", key) ? 1 : 0;
+          }
+        });
+    return fired;
+  };
+
+  util::ThreadPool one(1);
+  std::vector<char> serial;
+  {
+    exec::ScopedPool scoped(&one);
+    serial = collect();
+  }
+  util::ThreadPool eight(8);
+  std::vector<char> parallel;
+  {
+    exec::ScopedPool scoped(&eight);
+    parallel = collect();
+  }
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace cgc::fault
