@@ -52,11 +52,51 @@
 #include "common.hpp"
 #include "exec/parallel.hpp"
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "obs/span.hpp"
 #include "registry.hpp"
 #include "report_io.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace {
+
+/// Cumulative process CPU time (user + system), seconds. 0.0 where
+/// getrusage is unavailable.
+double process_cpu_seconds() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    const auto to_s = [](const timeval& tv) {
+      return static_cast<double>(tv.tv_sec) +
+             static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return to_s(usage.ru_utime) + to_s(usage.ru_stime);
+  }
+#endif
+  return 0.0;
+}
+
+/// Peak resident set of this process in KB (ru_maxrss is KB on Linux,
+/// bytes on macOS). 0 where unavailable.
+std::uint64_t peak_rss_kb() {
+#if defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;
+  }
+#elif defined(__unix__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+  }
+#endif
+  return 0;
+}
 
 using cgc::bench::BenchCase;
 using cgc::bench::CaseOutput;
@@ -220,6 +260,7 @@ struct Sweep {
 
     const auto before = dir_snapshot(out_dir);
     const auto start = std::chrono::steady_clock::now();
+    const double cpu_before = process_cpu_seconds();
     long backoff = backoff_ms;
     for (int attempt = 1; attempt <= retry_max; ++attempt) {
       r.attempts = attempt;
@@ -240,6 +281,7 @@ struct Sweep {
                       timeout_sec > 0 ? timeout_sec * 2 : 3600));
                 }
               }
+              cgc::obs::Span span("case:" + c->id);
               c->fn();
             },
             timeout_sec);
@@ -256,6 +298,8 @@ struct Sweep {
           // The case thread is stuck and cannot be joined; running
           // destructors under it would race. The checkpoint is on
           // disk — leave via _Exit and let --resume pick up from here.
+          // _Exit skips atexit, so flush observability output first.
+          cgc::obs::export_now();
           std::_Exit(cgc::util::kExitFailure);
         }
         r.ok = true;
@@ -281,6 +325,9 @@ struct Sweep {
     r.seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+    r.perf.wall_s = r.seconds;
+    r.perf.cpu_s = process_cpu_seconds() - cpu_before;
+    r.perf.max_rss_kb = peak_rss_kb();
     if (r.ok) {
       r.error.clear();
       r.outputs = diff_outputs(before, dir_snapshot(out_dir), out_dir);
@@ -347,17 +394,27 @@ int run(int argc, char** argv) {
   std::map<std::string, CaseRecord> previous;
   if (resume) {
     SweepReport prior;
-    if (cgc::bench::read_report(sweep.report_path, &prior)) {
-      for (CaseRecord& r : prior.cases) {
-        if (r.ok && outputs_match(r, sweep.out_dir)) {
-          previous.emplace(r.id, std::move(r));
+    switch (cgc::bench::read_report_checked(sweep.report_path, &prior)) {
+      case cgc::bench::ReportReadStatus::kOk:
+        for (CaseRecord& r : prior.cases) {
+          if (r.ok && outputs_match(r, sweep.out_dir)) {
+            previous.emplace(r.id, std::move(r));
+          }
         }
-      }
-      std::printf("resume: %zu of %zu cases already satisfied\n",
-                  previous.size(), cases.size());
-    } else {
-      std::printf("resume: no usable %s; running everything\n",
-                  sweep.report_path.c_str());
+        std::printf("resume: %zu of %zu cases already satisfied\n",
+                    previous.size(), cases.size());
+        break;
+      case cgc::bench::ReportReadStatus::kMissing:
+        std::printf("resume: no %s; running everything\n",
+                    sweep.report_path.c_str());
+        break;
+      case cgc::bench::ReportReadStatus::kCorrupt:
+        // Silently re-running everything would hide that a previous
+        // sweep died mid-write; make the operator decide.
+        throw cgc::util::DataError(
+            sweep.report_path +
+            " exists but is truncated or unparseable (crashed "
+            "mid-write?); delete it to start fresh");
     }
   }
 
@@ -424,7 +481,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "fatal: %s\n", e.what());
-    return cgc::util::kExitFatal;
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return cgc::error::exit_code(e);
   }
 }

@@ -9,9 +9,9 @@
 #include <mutex>
 
 #include "core/characterization.hpp"
-#include "store/reader.hpp"
 #include "store/writer.hpp"
 #include "trace/google_format.hpp"
+#include "trace/loader.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -49,13 +49,16 @@ trace::TraceSet cached_or_simulate(
   if (std::filesystem::exists(cgcs)) {
     CGC_LOG(kInfo) << "loading cached host-load trace from " << cgcs;
     try {
-      store::DamageReport damage;
-      trace::TraceSet trace = store::read_cgcs_degraded(cgcs, &damage);
-      if (!damage.clean()) {
+      trace::LoadOptions options;
+      options.format = trace::TraceFormat::kCgcs;
+      options.on_damage = trace::OnDamage::kQuarantine;
+      trace::LoadReport report;
+      trace::TraceSet trace = trace::load_trace(cgcs, options, &report);
+      if (!report.damage.clean()) {
         CGC_LOG(kWarn) << "store cache " << cgcs
                        << " is damaged; continuing degraded ("
-                       << damage.summary() << ")";
-        note_damage(damage);
+                       << report.damage.summary() << ")";
+        note_damage(report.damage);
       }
       return trace;
     } catch (const util::Error& e) {
@@ -66,14 +69,16 @@ trace::TraceSet cached_or_simulate(
   }
   if (std::filesystem::exists(dir + "/task_events.csv")) {
     CGC_LOG(kInfo) << "loading cached host-load trace from " << dir;
-    trace::ParseOptions options;
-    options.tolerant = true;
-    trace::ParseReport report;
-    trace::TraceSet trace =
-        trace::read_google_trace(dir, key, options, &report);
-    if (!report.clean()) {
-      CGC_LOG(kWarn) << "CSV cache " << dir << ": " << report.summary();
-      note_parse(report);
+    trace::LoadOptions options;
+    options.format = trace::TraceFormat::kGoogleCsv;
+    options.system_name = key;
+    options.strictness = trace::Strictness::kTolerant;
+    trace::LoadReport report;
+    trace::TraceSet trace = trace::load_trace(dir, options, &report);
+    if (!report.parse.clean()) {
+      CGC_LOG(kWarn) << "CSV cache " << dir << ": "
+                     << report.parse.summary();
+      note_parse(report.parse);
     }
     store::write_cgcs(trace, cgcs);
     return trace;

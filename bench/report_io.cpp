@@ -144,6 +144,9 @@ void write_case(std::ostream& out, const CaseRecord& r) {
   if (!r.error.empty()) {
     out << ", \"error\": \"" << json_escape(r.error) << "\"";
   }
+  out << ", \"perf\": {\"wall_s\": " << r.perf.wall_s
+      << ", \"cpu_s\": " << r.perf.cpu_s
+      << ", \"max_rss_kb\": " << r.perf.max_rss_kb << "}";
   out << ", \"outputs\": [";
   for (std::size_t i = 0; i < r.outputs.size(); ++i) {
     const CaseOutput& o = r.outputs[i];
@@ -167,6 +170,11 @@ bool parse_case(std::string_view line, CaseRecord* r) {
   get_double(line, "attempts", &attempts);
   r->attempts = static_cast<int>(attempts);
   get_string(line, "error", &r->error);
+  // The perf object's keys are unique within the line, so flat lookup
+  // works without isolating the nested object first.
+  get_double(line, "wall_s", &r->perf.wall_s);
+  get_double(line, "cpu_s", &r->perf.cpu_s);
+  get_u64(line, "max_rss_kb", &r->perf.max_rss_kb);
   // Outputs live in a trailing `"outputs": [{...}, {...}]` array; each
   // object is self-contained, so scan object by object.
   std::size_t i = value_offset(line, "outputs");
@@ -226,17 +234,26 @@ void write_report(const SweepReport& report, const std::string& path) {
   std::filesystem::rename(tmp, path);
 }
 
-bool read_report(const std::string& path, SweepReport* out) {
+ReportReadStatus read_report_checked(const std::string& path,
+                                     SweepReport* out) {
   std::ifstream in(path);
   if (!in.good()) {
-    return false;
+    // Distinguish "no file" (fresh sweep) from "file we cannot open"
+    // (something is there but unreadable — treat as corrupt).
+    return std::filesystem::exists(path) ? ReportReadStatus::kCorrupt
+                                         : ReportReadStatus::kMissing;
   }
   SweepReport report;
   std::string line;
+  std::string last_nonempty;
   bool saw_header = false;
   bool in_cases = false;
+  bool bad_case_line = false;
   std::string header;
   while (std::getline(in, line)) {
+    if (!line.empty()) {
+      last_nonempty = line;
+    }
     if (!in_cases) {
       header += line;
       header += '\n';
@@ -253,10 +270,14 @@ bool read_report(const std::string& path, SweepReport* out) {
     CaseRecord r;
     if (parse_case(line, &r)) {
       report.cases.push_back(std::move(r));
+    } else {
+      bad_case_line = true;
     }
   }
-  if (!saw_header) {
-    return false;
+  if (!saw_header || bad_case_line || last_nonempty != "}") {
+    // write_report() always ends the file with the closing "}" of the
+    // top-level object; anything else is a torn write.
+    return ReportReadStatus::kCorrupt;
   }
   get_bool(header, "fast_mode", &report.fast_mode);
   double threads = 0.0;
@@ -270,7 +291,11 @@ bool read_report(const std::string& path, SweepReport* out) {
   get_u64(header, "values_defaulted", &report.values_defaulted);
   get_u64(header, "parse_lines_bad", &report.parse_lines_bad);
   *out = std::move(report);
-  return true;
+  return ReportReadStatus::kOk;
+}
+
+bool read_report(const std::string& path, SweepReport* out) {
+  return read_report_checked(path, out) == ReportReadStatus::kOk;
 }
 
 bool file_crc32(const std::string& path, std::uint32_t* crc,

@@ -23,6 +23,15 @@ struct CaseOutput {
   std::uint64_t size = 0;
 };
 
+/// Resource accounting for one case run, measured around the final
+/// (successful or last) attempt. Always stamped — it does not depend on
+/// CGC_METRICS/CGC_TRACE being set.
+struct CasePerf {
+  double wall_s = 0.0;
+  double cpu_s = 0.0;            ///< user + system time of this process
+  std::uint64_t max_rss_kb = 0;  ///< peak resident set (0 if unavailable)
+};
+
 struct CaseRecord {
   std::string id;
   std::string binary;
@@ -33,6 +42,7 @@ struct CaseRecord {
   bool resumed = false;  ///< satisfied from a previous sweep's outputs
   int attempts = 1;      ///< 1 = first try; >1 means retries happened
   std::string error;     ///< empty when ok
+  CasePerf perf;
   std::vector<CaseOutput> outputs;
 };
 
@@ -60,6 +70,19 @@ struct SweepReport {
 /// `path + ".tmp"` first and is renamed over `path`, so readers never
 /// observe a torn file.
 void write_report(const SweepReport& report, const std::string& path);
+
+/// What read_report_checked() found at the path.
+enum class ReportReadStatus {
+  kOk,       ///< parsed; `out` is filled
+  kMissing,  ///< no file — a fresh sweep
+  kCorrupt,  ///< file exists but is not a complete report we wrote
+};
+
+/// Parses a report written by write_report(), distinguishing "no file"
+/// from "file exists but is truncated/unparseable" so --resume can fail
+/// loudly on a torn report instead of silently re-running.
+ReportReadStatus read_report_checked(const std::string& path,
+                                     SweepReport* out);
 
 /// Parses a report written by write_report(). Returns false (leaving
 /// `out` untouched) when the file is missing or not recognizably ours.

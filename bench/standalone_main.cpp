@@ -9,6 +9,7 @@
 
 #include "registry.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 int main() {
   for (const cgc::bench::BenchCase& c : cgc::bench::registry()) {
@@ -16,7 +17,7 @@ int main() {
       c.fn();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s failed: %s\n", c.id.c_str(), e.what());
-      return cgc::util::exit_code_for(e);
+      return cgc::error::exit_code(e);
     }
   }
   return cgc::util::kExitOk;

@@ -20,7 +20,9 @@
 
 #include "store/reader.hpp"
 #include "store/writer.hpp"
+#include "trace/loader.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -62,13 +64,18 @@ int verify(const std::string& path) {
 }
 
 int repair(const std::string& in, const std::string& out) {
-  const store::StoreReader reader(in, store::ReadMode::kDegraded);
-  const trace::TraceSet trace = reader.load_trace_set();
-  const store::DamageReport damage = reader.damage();
+  trace::LoadOptions options;
+  options.format = trace::TraceFormat::kCgcs;
+  options.on_damage = trace::OnDamage::kQuarantine;
+  trace::LoadReport report;
+  const trace::TraceSet trace = trace::load_trace(in, options, &report);
+  const store::DamageReport& damage = report.damage;
   store::write_cgcs(trace, out);
-  // The rewrite is clean by construction; prove it anyway.
-  const store::StoreReader check(out);
-  check.load_trace_set();
+  // The rewrite is clean by construction; prove it anyway with a
+  // strict (on_damage = kFail) load.
+  trace::LoadOptions strict;
+  strict.format = trace::TraceFormat::kCgcs;
+  trace::load_trace(out, strict);
   std::printf("repaired %s -> %s\n", in.c_str(), out.c_str());
   if (damage.clean()) {
     std::printf("input was clean; output is a lossless rewrite\n");
@@ -104,6 +111,6 @@ int main(int argc, char** argv) {
     return cgc::util::kExitFatal;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return cgc::util::exit_code_for(e);
+    return cgc::error::exit_code(e);
   }
 }

@@ -28,9 +28,11 @@
 #include "store/writer.hpp"
 #include "trace/google_format.hpp"
 #include "trace/gwa_format.hpp"
+#include "trace/loader.hpp"
 #include "trace/swf_format.hpp"
 #include "trace/validate.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 #include "util/time_util.hpp"
 
 namespace {
@@ -64,17 +66,13 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
-trace::TraceSet load_any(const std::string& path) {
-  if (ends_with(path, ".swf")) {
-    return trace::read_swf(path, "swf-trace");
-  }
-  if (ends_with(path, ".gwf")) {
-    return trace::read_gwa(path, "gwa-trace");
-  }
-  if (ends_with(path, ".cgcs")) {
-    return store::read_cgcs(path);
-  }
-  return trace::read_google_trace(path);
+/// All reads go through the Loader; format resolution (extension,
+/// magic, field-count sniff) is its job now.
+trace::TraceSet load_any(const std::string& path,
+                         trace::TraceFormat format = trace::TraceFormat::kAuto) {
+  trace::LoadOptions options;
+  options.format = format;
+  return trace::load_trace(path, options);
 }
 
 /// Writes `trace` in the format implied by the output path: .swf, .gwf,
@@ -156,21 +154,24 @@ int main(int argc, char** argv) {
       if (argc < 4) {
         return usage();
       }
-      const trace::TraceSet trace = trace::read_google_trace(argv[2]);
+      const trace::TraceSet trace =
+          load_any(argv[2], trace::TraceFormat::kGoogleCsv);
       trace::write_swf(trace, argv[3]);
       std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
     } else if (command == "gwa-to-swf") {
       if (argc < 4) {
         return usage();
       }
-      const trace::TraceSet trace = trace::read_gwa(argv[2], "gwa-trace");
+      const trace::TraceSet trace =
+          load_any(argv[2], trace::TraceFormat::kGwa);
       trace::write_swf(trace, argv[3]);
       std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
     } else if (command == "swf-to-gwa") {
       if (argc < 4) {
         return usage();
       }
-      const trace::TraceSet trace = trace::read_swf(argv[2], "swf-trace");
+      const trace::TraceSet trace =
+          load_any(argv[2], trace::TraceFormat::kSwf);
       trace::write_gwa(trace, argv[3]);
       std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
     } else if (command == "to-cgcs" || command == "--to-cgcs") {
@@ -186,12 +187,15 @@ int main(int argc, char** argv) {
       if (argc < 4) {
         return usage();
       }
-      const trace::TraceSet trace = store::read_cgcs(argv[2]);
+      const trace::TraceSet trace =
+          load_any(argv[2], trace::TraceFormat::kCgcs);
       write_any(trace, argv[3]);
       std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
     } else if (command == "info") {
       const std::string target = argv[2];
-      if (ends_with(target, ".cgcs")) {
+      const trace::TraceFormat format = trace::Loader::detect(target);
+      std::printf("detected format: %s\n", trace::format_name(format));
+      if (format == trace::TraceFormat::kCgcs) {
         const store::StoreReader reader(target);
         const store::StoreInfo& si = reader.info();
         std::printf("CGCS store: %s (%.2f MB, %zu chunks)\n",
@@ -200,14 +204,14 @@ int main(int argc, char** argv) {
                     si.num_chunks);
         print_summary(reader.load_trace_set());
       } else {
-        print_summary(load_any(target));
+        print_summary(load_any(target, format));
       }
     } else {
       return usage();
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return cgc::util::exit_code_for(e);
+    return cgc::error::exit_code(e);
   }
   return cgc::util::kExitOk;
 }

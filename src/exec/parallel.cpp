@@ -6,9 +6,19 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace cgc::exec {
 
 namespace {
+
+/// Pool queue depth, maintained here rather than in util::ThreadPool so
+/// cgc_util stays below cgc_obs in the link graph.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("exec.queue_depth");
+  return g;
+}
 
 /// Default minimum chunk size: small enough to balance per-host scans,
 /// large enough that chunk bookkeeping is noise for element-wise loops.
@@ -80,7 +90,23 @@ void run_chunks(std::size_t num_chunks,
   if (num_chunks == 0) {
     return;
   }
+  // exec.regions / exec.chunks count logical work items; the chunk plan
+  // depends only on (size, grain), so these are deterministic across
+  // CGC_THREADS.
+  if (obs::metrics_enabled()) {
+    static obs::Counter& regions = obs::counter("exec.regions");
+    static obs::Counter& chunks = obs::counter("exec.chunks");
+    regions.add(1);
+    chunks.add(num_chunks);
+  }
   if (num_chunks == 1) {
+    if (obs::metrics_enabled()) {
+      static obs::Histogram& chunk_ns = obs::histogram("exec.chunk_ns");
+      const std::uint64_t start = obs::now_ns();
+      fn(0);
+      chunk_ns.observe(obs::now_ns() - start);
+      return;
+    }
     fn(0);
     return;
   }
@@ -109,7 +135,22 @@ void run_chunks(std::size_t num_chunks,
       }
       std::exception_ptr error;
       try {
-        s->fn(ci);
+        if (obs::enabled()) {
+          // Per-chunk spans are what Perfetto renders as per-worker
+          // utilization: each chunk is attributed to the thread that
+          // claimed it.
+          obs::Span span("exec.chunk");
+          if (obs::metrics_enabled()) {
+            static obs::Histogram& chunk_ns = obs::histogram("exec.chunk_ns");
+            const std::uint64_t start = obs::now_ns();
+            s->fn(ci);
+            chunk_ns.observe(obs::now_ns() - start);
+          } else {
+            s->fn(ci);
+          }
+        } else {
+          s->fn(ci);
+        }
       } catch (...) {
         error = std::current_exception();
       }
@@ -128,8 +169,17 @@ void run_chunks(std::size_t num_chunks,
   // worker is parked inside an enclosing parallel region.
   util::ThreadPool& p = pool();
   const std::size_t num_helpers = std::min(p.size(), num_chunks - 1);
+  const bool track_queue = obs::metrics_enabled();
+  if (track_queue) {
+    queue_depth_gauge().add(static_cast<std::int64_t>(num_helpers));
+  }
   for (std::size_t i = 0; i < num_helpers; ++i) {
-    p.submit([state, work] { work(state); });
+    p.submit([state, work, track_queue] {
+      if (track_queue) {
+        queue_depth_gauge().add(-1);
+      }
+      work(state);
+    });
   }
   work(state);
 

@@ -1,0 +1,96 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace cgc::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_armed{false};
+std::atomic<bool> g_trace_armed{false};
+}  // namespace detail
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+/// Leaked strings: atexit export must be able to read the paths after
+/// main() returns, past any static-destruction order.
+std::string*& metrics_path_slot() {
+  static auto* path = new std::string;
+  return path;
+}
+
+std::string*& trace_path_slot() {
+  static auto* path = new std::string;
+  return path;
+}
+
+/// Reads CGC_METRICS / CGC_TRACE once, before main() — same discipline
+/// as cgc::fault's installer.
+const bool g_env_installed = [] {
+  bool any = false;
+  if (const char* env = std::getenv("CGC_METRICS");
+      env != nullptr && *env != '\0') {
+    *metrics_path_slot() = env;
+    detail::g_metrics_armed.store(true, std::memory_order_relaxed);
+    any = true;
+  }
+  if (const char* env = std::getenv("CGC_TRACE");
+      env != nullptr && *env != '\0') {
+    *trace_path_slot() = env;
+    detail::g_trace_armed.store(true, std::memory_order_relaxed);
+    any = true;
+  }
+  if (any) {
+    std::atexit([] { export_now(); });
+  }
+  return true;
+}();
+
+void write_to_path(const std::string& path, void (*writer)(std::ostream&),
+                   const char* what) {
+  if (path == "-") {
+    writer(std::cerr);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "cgc::obs: cannot open " << what << " output '" << path
+              << "'\n";
+    return;
+  }
+  writer(out);
+}
+
+}  // namespace
+
+void configure(bool metrics, bool spans) {
+  detail::g_metrics_armed.store(metrics, std::memory_order_relaxed);
+  detail::g_trace_armed.store(spans, std::memory_order_relaxed);
+}
+
+std::string metrics_path() { return *metrics_path_slot(); }
+
+std::string trace_path() { return *trace_path_slot(); }
+
+void export_now() {
+  if (const std::string& path = *metrics_path_slot(); !path.empty()) {
+    write_to_path(path, &write_metrics_json, "metrics");
+  }
+  if (const std::string& path = *trace_path_slot(); !path.empty()) {
+    write_to_path(path, &write_chrome_trace, "trace");
+  }
+}
+
+}  // namespace cgc::obs

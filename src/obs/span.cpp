@@ -1,0 +1,173 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cgc::obs {
+namespace {
+
+/// One finished span, ready for export.
+struct SpanEvent {
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Per-thread event buffer. Its mutex is uncontended in steady state —
+/// the owning thread appends; only export_now() contends, briefly.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::vector<SpanEvent> events;
+};
+
+/// All buffers ever created, kept alive past thread exit by shared
+/// ownership so export after a pool shuts down still sees its spans.
+struct BufferRegistry {
+  std::mutex mutex;
+  std::uint32_t next_tid = 1;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+/// Leaked: export runs from atexit and must not race static teardown.
+BufferRegistry& buffer_registry() {
+  static auto* r = new BufferRegistry;
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& r = buffer_registry();
+    std::lock_guard lock(r.mutex);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void json_escape(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out << hex;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void write_us(std::ostream& out, std::uint64_t ns) {
+  // Microseconds with nanosecond precision kept in the fraction.
+  out << ns / 1000 << '.';
+  char frac[4];
+  std::snprintf(frac, sizeof frac, "%03u",
+                static_cast<unsigned>(ns % 1000));
+  out << frac;
+}
+
+}  // namespace
+
+namespace detail {
+
+void record_span(std::string name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns) {
+  ThreadBuffer& b = local_buffer();
+  std::lock_guard lock(b.mutex);
+  b.events.push_back(SpanEvent{std::move(name), b.tid, start_ns, dur_ns});
+}
+
+}  // namespace detail
+
+void write_chrome_trace(std::ostream& out) {
+  std::vector<SpanEvent> events;
+  {
+    BufferRegistry& r = buffer_registry();
+    std::lock_guard registry_lock(r.mutex);
+    for (const auto& buffer : r.buffers) {
+      std::lock_guard buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.tid < b.tid;
+            });
+  std::uint64_t origin_ns = events.empty() ? 0 : events.front().start_ns;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  const char* sep = "";
+  for (const SpanEvent& e : events) {
+    out << sep << "\n{\"name\": \"";
+    json_escape(out, e.name);
+    out << "\", \"cat\": \"cgc\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << e.tid << ", \"ts\": ";
+    write_us(out, e.start_ns - origin_ns);
+    out << ", \"dur\": ";
+    write_us(out, e.dur_ns);
+    out << "}";
+    sep = ",";
+  }
+  out << "\n]}\n";
+}
+
+std::size_t span_count() {
+  BufferRegistry& r = buffer_registry();
+  std::lock_guard registry_lock(r.mutex);
+  std::size_t n = 0;
+  for (const auto& buffer : r.buffers) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+ScopedTimer::ScopedTimer(const char* name) : name_(name) {
+  if (metrics_enabled()) {
+    histogram_ = &histogram(name_);
+  }
+  span_armed_ = trace_enabled();
+  if (histogram_ != nullptr || span_armed_) {
+    start_ns_ = now_ns();
+  }
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ == nullptr && !span_armed_) {
+    return;
+  }
+  const std::uint64_t dur_ns = now_ns() - start_ns_;
+  if (histogram_ != nullptr) {
+    histogram_->observe(dur_ns);
+  }
+  if (span_armed_) {
+    detail::record_span(name_, start_ns_, dur_ns);
+  }
+}
+
+}  // namespace cgc::obs

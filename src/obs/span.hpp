@@ -1,0 +1,79 @@
+// RAII tracing spans and the ScopedTimer that feeds both facilities
+// (cgc::obs).
+//
+// A Span brackets a region of one thread's execution. Construction
+// records the start timestamp; destruction appends one complete
+// ("ph": "X") event — name, thread id, start, duration — to the
+// emitting thread's buffer. Buffers are per-thread structs guarded by
+// their own (uncontended) mutex and registered globally, so export can
+// collect from live pool workers without any thread-exit handshake;
+// a buffer outlives its thread via shared ownership. Nested spans on
+// one thread nest naturally in the exported timeline.
+//
+// ScopedTimer is the both-facilities site: when metrics are armed its
+// duration lands in histogram(name) in nanoseconds, and when tracing
+// is armed the same interval is emitted as a span. Disarmed, both
+// classes cost the usual single relaxed load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace cgc::obs {
+
+class Histogram;
+
+namespace detail {
+/// Appends one complete span event to the calling thread's buffer.
+void record_span(std::string name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns);
+}  // namespace detail
+
+/// RAII span: emits one trace event covering its lifetime when tracing
+/// is armed at construction time.
+class Span {
+ public:
+  explicit Span(std::string name) {
+    if (trace_enabled()) {
+      armed_ = true;
+      name_ = std::move(name);
+      start_ns_ = now_ns();
+    }
+  }
+  ~Span() {
+    if (armed_) {
+      detail::record_span(std::move(name_), start_ns_,
+                          now_ns() - start_ns_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool armed_ = false;
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Times its scope into histogram(name) (nanoseconds, metrics armed)
+/// and/or a span of the same name (tracing armed).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* histogram_ = nullptr;  ///< resolved at construction if armed
+  bool span_armed_ = false;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace cgc::obs

@@ -6,6 +6,8 @@
 #include <map>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "store/encoding.hpp"
 #include "util/check.hpp"
 #include "exec/parallel.hpp"
@@ -49,6 +51,12 @@ struct StoreReader::EventRowGroup {
 
 StoreReader::StoreReader(const std::string& path, ReadMode mode)
     : file_(path), mode_(mode) {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& files_opened = obs::counter("store.files_opened");
+    static obs::Counter& bytes_mapped = obs::counter("store.bytes_mapped");
+    files_opened.add(1);
+    bytes_mapped.add(file_.data().size());
+  }
   parse_footer();
   std::vector<std::atomic<bool>> flags(chunks_.size());
   crc_checked_ = std::move(flags);
@@ -217,12 +225,28 @@ std::string StoreReader::verify_payload(const ChunkMeta& chunk) const {
            std::string(section_name(chunk.section)) + ")";
   }
   const auto span = file_.data().subspan(chunk.offset, chunk.payload_size);
-  if (crc32(span) != chunk.crc) {
+  bool crc_ok;
+  if (obs::metrics_enabled()) {
+    static obs::Histogram& crc_ns = obs::histogram("store.crc_ns");
+    const std::uint64_t start = obs::now_ns();
+    crc_ok = crc32(span) == chunk.crc;
+    crc_ns.observe(obs::now_ns() - start);
+  } else {
+    crc_ok = crc32(span) == chunk.crc;
+  }
+  if (!crc_ok) {
     return "chunk CRC mismatch in section " +
            std::string(section_name(chunk.section));
   }
   if (idx != kNoIndex) {
-    crc_checked_[idx].store(true, std::memory_order_relaxed);
+    // exchange() makes the first-transition test exact, so the verified
+    // count is one per chunk even when racing accessors double-check.
+    const bool already = crc_checked_[idx].exchange(true,
+                                                    std::memory_order_relaxed);
+    if (!already && obs::metrics_enabled()) {
+      static obs::Counter& verified = obs::counter("store.chunks_verified");
+      verified.add(1);
+    }
   }
   return {};
 }
@@ -236,6 +260,11 @@ void StoreReader::quarantine(const ChunkMeta& chunk,
       return;  // already recorded by another accessor
     }
     chunk_bad_[idx].store(true, std::memory_order_relaxed);
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& quarantined =
+        obs::counter("store.chunks_quarantined");
+    quarantined.add(1);
   }
   QuarantinedChunk q;
   q.section = chunk.section;
@@ -320,6 +349,16 @@ void StoreReader::decode_i64(const ChunkMeta& chunk,
   CGC_CHECK_MSG(chunk.encoding == Encoding::kVarint ||
                     chunk.encoding == Encoding::kDeltaVarint,
                 "decode_i64() on a non-integer chunk");
+  if (obs::metrics_enabled()) {
+    static obs::Counter& decoded = obs::counter("store.chunks_decoded");
+    static obs::Histogram& decode_ns = obs::histogram("store.decode_ns");
+    decoded.add(1);
+    const std::uint64_t start = obs::now_ns();
+    decode_i64_column(payload(chunk), chunk.row_count,
+                      chunk.encoding == Encoding::kDeltaVarint, out);
+    decode_ns.observe(obs::now_ns() - start);
+    return;
+  }
   decode_i64_column(payload(chunk), chunk.row_count,
                     chunk.encoding == Encoding::kDeltaVarint, out);
 }
@@ -339,6 +378,7 @@ struct HostLoadFlat {
 }  // namespace
 
 trace::TraceSet StoreReader::load_trace_set() const {
+  obs::ScopedTimer timer("store.load_trace_set");
   std::vector<trace::Job> jobs(info_.num_jobs);
   std::vector<trace::Task> tasks(info_.num_tasks);
   std::vector<trace::TaskEvent> events(info_.num_events);
@@ -754,6 +794,7 @@ std::vector<StoreReader::EventRowGroup> StoreReader::event_row_groups()
 ScanStats StoreReader::scan(
     const EventPredicate& predicate,
     const std::function<void(std::span<const trace::TaskEvent>)>& fn) const {
+  obs::ScopedTimer timer("store.scan");
   const std::vector<EventRowGroup> groups = event_row_groups();
   ScanStats stats;
   stats.row_groups_total = groups.size();

@@ -353,12 +353,21 @@ void rebuild_tasks_and_jobs(TraceSet* trace) {
 
 TraceSet read_google_trace(const std::string& directory,
                            const std::string& system_name) {
-  return read_google_trace(directory, system_name, ParseOptions{}, nullptr);
+  return detail::read_google_trace_impl(directory, system_name,
+                                        ParseOptions{}, nullptr);
 }
 
 TraceSet read_google_trace(const std::string& directory,
                            const std::string& system_name,
                            const ParseOptions& options, ParseReport* report) {
+  return detail::read_google_trace_impl(directory, system_name, options,
+                                        report);
+}
+
+TraceSet detail::read_google_trace_impl(const std::string& directory,
+                                        const std::string& system_name,
+                                        const ParseOptions& options,
+                                        ParseReport* report) {
   TraceSet trace(system_name);
   const std::string task_events_path = directory + "/task_events.csv";
   const std::string machine_events_path = directory + "/machine_events.csv";

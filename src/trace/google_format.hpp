@@ -31,6 +31,15 @@
 
 namespace cgc::trace {
 
+namespace detail {
+/// Canonical Google-trace parse path; both the Loader façade and the
+/// public read_google_trace overloads delegate here.
+TraceSet read_google_trace_impl(const std::string& directory,
+                                const std::string& system_name,
+                                const ParseOptions& options,
+                                ParseReport* report);
+}  // namespace detail
+
 /// Writes trace.events() in clusterdata task_events layout.
 void write_task_events(const TraceSet& trace, const std::string& path);
 
@@ -49,13 +58,14 @@ void write_google_trace(const TraceSet& trace, const std::string& directory);
 /// reconstructed from the event stream via the task state machine: each
 /// terminal event closes a task record; jobs aggregate their tasks.
 /// Files that are absent are skipped (a workload-only directory may have
-/// no host_usage.csv).
+/// no host_usage.csv). Kept as a delegating wrapper for one release;
+/// prefer cgc::trace::Loader (trace/loader.hpp).
 TraceSet read_google_trace(const std::string& directory,
                            const std::string& system_name = "google-trace");
 
 /// As above, honoring `options` (tolerant mode skips and accounts bad
 /// records into `report`, which aggregates across the three tables; see
-/// parse_report.hpp).
+/// parse_report.hpp). Delegating wrapper; prefer cgc::trace::Loader.
 TraceSet read_google_trace(const std::string& directory,
                            const std::string& system_name,
                            const ParseOptions& options, ParseReport* report);

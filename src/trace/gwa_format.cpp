@@ -10,11 +10,18 @@
 namespace cgc::trace {
 
 TraceSet read_gwa(const std::string& path, const std::string& system_name) {
-  return read_gwa(path, system_name, ParseOptions{}, nullptr);
+  return detail::read_gwa_impl(path, system_name, ParseOptions{}, nullptr);
 }
 
 TraceSet read_gwa(const std::string& path, const std::string& system_name,
                   const ParseOptions& options, ParseReport* report) {
+  return detail::read_gwa_impl(path, system_name, options, report);
+}
+
+TraceSet detail::read_gwa_impl(const std::string& path,
+                               const std::string& system_name,
+                               const ParseOptions& options,
+                               ParseReport* report) {
   std::ifstream in(path);
   CGC_CHECK_MSG(in.good(), "cannot open GWA file: " + path);
   TraceSet trace(system_name);

@@ -16,12 +16,22 @@
 
 namespace cgc::trace {
 
+namespace detail {
+/// Canonical GWA parse path; both the Loader façade and the public
+/// read_gwa overloads delegate here.
+TraceSet read_gwa_impl(const std::string& path,
+                       const std::string& system_name,
+                       const ParseOptions& options, ParseReport* report);
+}  // namespace detail
+
 /// Parses a GWA .gwf file into a workload-only TraceSet. Strict: the
-/// first malformed record throws.
+/// first malformed record throws. Kept as a delegating wrapper for one
+/// release; prefer cgc::trace::Loader (trace/loader.hpp).
 TraceSet read_gwa(const std::string& path, const std::string& system_name);
 
 /// As above, honoring `options` (tolerant mode skips and accounts bad
-/// records into `report`; see parse_report.hpp).
+/// records into `report`; see parse_report.hpp). Delegating wrapper;
+/// prefer cgc::trace::Loader.
 TraceSet read_gwa(const std::string& path, const std::string& system_name,
                   const ParseOptions& options, ParseReport* report);
 

@@ -35,11 +35,18 @@ std::vector<std::string_view> split_ws(std::string_view line,
 }  // namespace
 
 TraceSet read_swf(const std::string& path, const std::string& system_name) {
-  return read_swf(path, system_name, ParseOptions{}, nullptr);
+  return detail::read_swf_impl(path, system_name, ParseOptions{}, nullptr);
 }
 
 TraceSet read_swf(const std::string& path, const std::string& system_name,
                   const ParseOptions& options, ParseReport* report) {
+  return detail::read_swf_impl(path, system_name, options, report);
+}
+
+TraceSet detail::read_swf_impl(const std::string& path,
+                               const std::string& system_name,
+                               const ParseOptions& options,
+                               ParseReport* report) {
   std::ifstream in(path);
   CGC_CHECK_MSG(in.good(), "cannot open SWF file: " + path);
   TraceSet trace(system_name);

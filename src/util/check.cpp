@@ -2,13 +2,13 @@
 
 #include <sstream>
 
+#include "util/error.hpp"
+
 namespace cgc::util {
 
 int exit_code_for(const std::exception& e) {
-  if (dynamic_cast<const FatalError*>(&e) != nullptr) {
-    return kExitFatal;
-  }
-  return kExitFailure;
+  // Delegates to the canonical mapping; kept for source compatibility.
+  return error::exit_code(e);
 }
 
 namespace detail {

@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include "util/check.hpp"
+
+namespace cgc::error {
+
+int exit_code(const std::exception& e) {
+  if (dynamic_cast<const util::FatalError*>(&e) != nullptr) {
+    return util::kExitFatal;
+  }
+  return util::kExitFailure;
+}
+
+}  // namespace cgc::error

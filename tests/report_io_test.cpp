@@ -1,0 +1,125 @@
+// Tests for the sweep driver's report.json checkpoint I/O: perf-block
+// round-trip and the kOk/kMissing/kCorrupt distinction that lets
+// --resume fail loudly on a torn report (regression: a truncated file
+// used to be treated the same as a missing one).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "report_io.hpp"
+
+namespace cgc::bench {
+namespace {
+
+class ReportIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cgc_report_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "report.json").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static SweepReport make_report() {
+    SweepReport report;
+    report.fast_mode = true;
+    report.threads = 4;
+    report.complete = true;
+    report.total_seconds = 1.5;
+    CaseRecord r;
+    r.id = "fig02_priorities";
+    r.binary = "bench_fig02_priorities";
+    r.kind = "figure";
+    r.title = "Priority mix";
+    r.seconds = 0.75;
+    r.ok = true;
+    r.attempts = 2;
+    r.perf.wall_s = 0.75;
+    r.perf.cpu_s = 2.5;
+    r.perf.max_rss_kb = 123456;
+    r.outputs.push_back({"fig02.dat", 0xdeadbeef, 321});
+    report.cases.push_back(r);
+    return report;
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(ReportIoTest, RoundTripIncludesPerfBlock) {
+  write_report(make_report(), path_);
+
+  SweepReport loaded;
+  ASSERT_EQ(read_report_checked(path_, &loaded), ReportReadStatus::kOk);
+  ASSERT_EQ(loaded.cases.size(), 1u);
+  const CaseRecord& r = loaded.cases[0];
+  EXPECT_EQ(r.id, "fig02_priorities");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_DOUBLE_EQ(r.perf.wall_s, 0.75);
+  EXPECT_DOUBLE_EQ(r.perf.cpu_s, 2.5);
+  EXPECT_EQ(r.perf.max_rss_kb, 123456u);
+  ASSERT_EQ(r.outputs.size(), 1u);
+  EXPECT_EQ(r.outputs[0].file, "fig02.dat");
+  EXPECT_EQ(r.outputs[0].crc, 0xdeadbeefu);
+  EXPECT_EQ(r.outputs[0].size, 321u);
+}
+
+TEST_F(ReportIoTest, MissingFileIsMissingNotCorrupt) {
+  SweepReport out;
+  EXPECT_EQ(read_report_checked(path_, &out), ReportReadStatus::kMissing);
+  EXPECT_FALSE(read_report(path_, &out));
+}
+
+TEST_F(ReportIoTest, TruncatedReportIsCorrupt) {
+  write_report(make_report(), path_);
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(bytes.size(), 20u);
+  // Simulate a crash mid-write: keep only the first half of the file.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  SweepReport out;
+  EXPECT_EQ(read_report_checked(path_, &out), ReportReadStatus::kCorrupt);
+  EXPECT_FALSE(read_report(path_, &out));
+}
+
+TEST_F(ReportIoTest, ForeignFileIsCorrupt) {
+  {
+    std::ofstream out(path_);
+    out << "{\"something\": \"else entirely\"}\n";
+  }
+  SweepReport out;
+  EXPECT_EQ(read_report_checked(path_, &out), ReportReadStatus::kCorrupt);
+}
+
+TEST_F(ReportIoTest, MangledCaseLineIsCorrupt) {
+  write_report(make_report(), path_);
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // Damage the case line's id key so parse_case fails, keeping the
+  // header and trailer intact.
+  const std::string::size_type pos = bytes.find("\"id\"");
+  ASSERT_NE(pos, std::string::npos);
+  bytes.replace(pos, 4, "\"xx\"");
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  SweepReport out;
+  EXPECT_EQ(read_report_checked(path_, &out), ReportReadStatus::kCorrupt);
+}
+
+}  // namespace
+}  // namespace cgc::bench
