@@ -418,6 +418,22 @@ int run(int argc, char** argv) {
     }
   }
 
+  // Every case already satisfied: carry the prior records over and skip
+  // the sweep loop entirely — no case banners, no generator warm-up.
+  if (resume && previous.size() == cases.size()) {
+    for (const BenchCase* c : cases) {
+      CaseRecord r = previous.at(c->id);
+      r.resumed = true;
+      sweep.report.cases.push_back(std::move(r));
+    }
+    std::printf("resume: all %zu cases satisfied; nothing to run\n",
+                cases.size());
+    sweep.flush(true, 0.0);
+    std::printf("report written to %s\n", sweep.report_path.c_str());
+    return cgc::bench::io_health().degraded() ? cgc::util::kExitFailure
+                                              : cgc::util::kExitOk;
+  }
+
   std::printf("cgc_report: %zu cases, %zu worker threads, %s scale%s\n",
               cases.size(), cgc::exec::num_workers(),
               cgc::bench::fast_mode() ? "fast" : "full",

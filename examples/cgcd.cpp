@@ -1,0 +1,135 @@
+// cgcd — online characterization daemon.
+//
+// Ingests a live task-event stream and maintains the paper's headline
+// metrics per event-time window, answering queries at the end of the
+// stream. Three input modes:
+//
+//   cgcd --input trace.cgcs --rate 100000 --query priority_mix
+//   cat task_events.csv | cgcd --input - --query queue --query noise
+//   cgcd --generate --days 2 --width 3600 --query all
+//
+// Options:
+//   --input PATH|-        trace file (any Loader format) or "-" for a
+//                         Google task_events pipe on stdin
+//   --generate            synthesize a Google-model workload instead
+//   --days D              generated workload horizon (default 2)
+//   --sampling R          generated task sampling rate (default 0.25)
+//   --rate X              replay speedup: trace seconds per wall second
+//                         (default 0 = unthrottled)
+//   --batch N             events per ingest batch (default 8192)
+//   --width S             window width in seconds (default 3600)
+//   --slide S             window slide (default = width, i.e. tumbling)
+//   --lag S               watermark lag (default 300)
+//   --late drop|absorb    late-event policy (default drop)
+//   --error A             sketch relative error (default 0.01)
+//   --rate-bins N         noise sub-bins per window (default 60)
+//   --spill DIR           durable spill of closed windows (CGCS + JSONL)
+//   --query M             metric to answer (repeatable): priority_mix |
+//                         job_cdf | task_cdf | submission | host_load |
+//                         queue | noise | all
+//   --window I            query window index (default: latest closed)
+//   --strict              fail on trace parse damage instead of counting
+//
+// Environment: CGC_THREADS (ingest parallelism), CGC_METRICS /
+// CGC_TRACE (observability export), CGC_FAULT_SPEC (deterministic
+// fault injection; sites stream.drop / stream.dup).
+//
+// Exit codes: 0 clean; 1 degraded (any late/dropped/duplicated/
+// unparseable events — counted in the summary JSON, never a crash) or
+// data error; 2 usage; 3 fatal.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "stream/daemon.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: cgcd (--input PATH|- | --generate) [options]\n"
+      "  --days D --sampling R --rate X --batch N\n"
+      "  --width S --slide S --lag S --late drop|absorb\n"
+      "  --error A --rate-bins N --spill DIR\n"
+      "  --query priority_mix|job_cdf|task_cdf|submission|host_load|"
+      "queue|noise|all\n"
+      "  --window I --strict\n");
+  return cgc::util::kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cgc::stream::DaemonConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--generate") {
+      config.generate = true;
+    } else if (arg == "--strict") {
+      config.strict_load = true;
+    } else if (!has_value) {
+      return usage();
+    } else if (arg == "--input") {
+      config.input = argv[++i];
+    } else if (arg == "--days") {
+      config.generate_days = std::atof(argv[++i]);
+    } else if (arg == "--sampling") {
+      config.task_sampling_rate = std::atof(argv[++i]);
+    } else if (arg == "--rate") {
+      config.rate = std::atof(argv[++i]);
+    } else if (arg == "--batch") {
+      config.batch_size = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--width") {
+      config.window.width = std::atoll(argv[++i]);
+    } else if (arg == "--slide") {
+      config.window.slide = std::atoll(argv[++i]);
+    } else if (arg == "--lag") {
+      config.window.watermark_lag = std::atoll(argv[++i]);
+    } else if (arg == "--late") {
+      const std::string policy = argv[++i];
+      if (policy == "drop") {
+        config.window.late_policy = cgc::stream::LatePolicy::kDrop;
+      } else if (policy == "absorb") {
+        config.window.late_policy = cgc::stream::LatePolicy::kAbsorbOldest;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--error") {
+      config.window.relative_error = std::atof(argv[++i]);
+    } else if (arg == "--rate-bins") {
+      config.window.rate_bins =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--spill") {
+      config.spill_dir = argv[++i];
+    } else if (arg == "--query") {
+      config.queries.emplace_back(argv[++i]);
+    } else if (arg == "--window") {
+      config.query_window = std::atoll(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  if (!config.generate && config.input.empty()) {
+    return usage();
+  }
+  for (const std::string& query : config.queries) {
+    if (!cgc::stream::is_known_query(query)) {
+      std::fprintf(stderr, "unknown query: %s\n", query.c_str());
+      return usage();
+    }
+  }
+  if (config.batch_size == 0 || config.window.rate_bins == 0) {
+    return usage();
+  }
+  try {
+    return cgc::stream::run_daemon(config, std::cin, std::cout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return cgc::error::exit_code(e);
+  }
+}

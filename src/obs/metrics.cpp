@@ -1,6 +1,5 @@
 #include "obs/metrics.hpp"
 
-#include <bit>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -39,7 +38,8 @@ void Gauge::reset() {
 void Histogram::observe(std::uint64_t value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
-  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+  buckets_[stats::bucketing::log2_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
   std::uint64_t seen = min_.load(std::memory_order_relaxed);
   while (value < seen &&
          !min_.compare_exchange_weak(seen, value,
@@ -74,8 +74,8 @@ std::uint64_t Histogram::approx_percentile(double p) const {
   for (std::size_t b = 0; b < kNumBuckets; ++b) {
     seen += buckets_[b].load(std::memory_order_relaxed);
     if (seen > rank || seen == n) {
-      // Upper bound of bucket b: values with bit_width == b are < 2^b.
-      return b >= 64 ? max() : (std::uint64_t{1} << b) - 1;
+      // Inclusive upper bound of bucket b (exact max for the top one).
+      return b >= 64 ? max() : stats::bucketing::log2_upper(b);
     }
   }
   return max();

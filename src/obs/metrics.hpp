@@ -33,6 +33,7 @@
 #include <string_view>
 
 #include "obs/obs.hpp"
+#include "stats/bucketing.hpp"
 
 namespace cgc::obs {
 
@@ -71,8 +72,10 @@ class Gauge {
 
 class Histogram {
  public:
-  /// One bucket per possible bit_width of a u64 (0..64).
-  static constexpr std::size_t kNumBuckets = 65;
+  /// One bucket per possible bit_width of a u64 (0..64); the bucket
+  /// geometry is the shared log2 scheme in stats/bucketing.hpp.
+  static constexpr std::size_t kNumBuckets =
+      stats::bucketing::kNumLog2Buckets;
 
   void observe(std::uint64_t value);
 

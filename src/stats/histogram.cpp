@@ -1,7 +1,6 @@
 #include "stats/histogram.hpp"
 
-#include <algorithm>
-
+#include "stats/bucketing.hpp"
 #include "util/check.hpp"
 
 namespace cgc::stats {
@@ -14,14 +13,7 @@ Histogram::Histogram(double lo, double hi, std::size_t num_bins)
 }
 
 std::size_t Histogram::bin_index(double x) const {
-  if (x <= lo_) {
-    return 0;
-  }
-  if (x >= hi_) {
-    return counts_.size() - 1;
-  }
-  const auto b = static_cast<std::size_t>((x - lo_) / width_);
-  return std::min(b, counts_.size() - 1);
+  return bucketing::linear_index(x, lo_, width_, counts_.size());
 }
 
 void Histogram::add(double x, double weight) {
@@ -36,11 +28,11 @@ void Histogram::add_all(std::span<const double> values) {
 }
 
 double Histogram::bin_center(std::size_t b) const {
-  return lo_ + (static_cast<double>(b) + 0.5) * width_;
+  return bucketing::linear_center(b, lo_, width_);
 }
 
 double Histogram::bin_lo(std::size_t b) const {
-  return lo_ + static_cast<double>(b) * width_;
+  return bucketing::linear_lower(b, lo_, width_);
 }
 
 double Histogram::pmf(std::size_t b) const {

@@ -1,0 +1,215 @@
+#include "stream/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <thread>
+
+#include "gen/google_model.hpp"
+#include "obs/obs.hpp"
+#include "store/writer.hpp"
+#include "stream/replay.hpp"
+#include "trace/loader.hpp"
+#include "util/check.hpp"
+#include "util/time_util.hpp"
+
+namespace cgc::stream {
+
+namespace {
+
+constexpr const char* kKnownQueries[] = {
+    "priority_mix", "job_cdf",  "task_cdf", "submission",
+    "host_load",    "queue",    "noise",    "all",
+};
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Replays a pre-sorted event vector in batches, pacing trace time at
+/// `rate` seconds per wall second when rate > 0.
+void replay_events(SlidingWindow* engine,
+                   std::span<const trace::TaskEvent> events, double rate,
+                   std::size_t batch_size) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  const util::TimeSec t0 = events.empty() ? 0 : events.front().time;
+  for (std::size_t i = 0; i < events.size(); i += batch_size) {
+    const std::span<const trace::TaskEvent> batch =
+        events.subspan(i, std::min(batch_size, events.size() - i));
+    if (rate > 0.0) {
+      const double target_s =
+          static_cast<double>(batch.front().time - t0) / rate;
+      std::this_thread::sleep_until(
+          wall0 + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(target_s)));
+    }
+    engine->ingest(batch);
+  }
+}
+
+void write_health_json(std::ostream& out, const StreamHealth& health) {
+  out << "{\"late_dropped\": " << health.late_dropped
+      << ", \"late_absorbed\": " << health.late_absorbed
+      << ", \"faults_dropped\": " << health.faults_dropped
+      << ", \"faults_duplicated\": " << health.faults_duplicated
+      << ", \"parse_bad_lines\": " << health.parse_bad_lines
+      << ", \"lossy\": " << (health.lossy() ? "true" : "false") << "}";
+}
+
+}  // namespace
+
+bool is_known_query(const std::string& metric) {
+  for (const char* known : kKnownQueries) {
+    if (metric == known) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int run_daemon(const DaemonConfig& config, std::istream& in,
+               std::ostream& out, DaemonStats* stats_out) {
+  for (const std::string& query : config.queries) {
+    CGC_CHECK_MSG(is_known_query(query), "unknown query: " + query);
+  }
+  WindowConfig window_config = config.window;
+  if (!config.spill_dir.empty()) {
+    window_config.keep_events = true;
+  }
+  SlidingWindow engine(window_config);
+
+  std::ofstream spill_jsonl;
+  std::uint64_t windows_spilled = 0;
+  if (!config.spill_dir.empty()) {
+    std::filesystem::create_directories(config.spill_dir);
+    const std::string jsonl_path = config.spill_dir + "/windows.jsonl";
+    spill_jsonl.open(jsonl_path, std::ios::trunc);
+    CGC_CHECK_MSG(spill_jsonl.is_open(), "cannot open " + jsonl_path);
+    engine.set_spill([&](const WindowStats& ws,
+                         std::span<const trace::TaskEvent> events) {
+      char name[40];
+      std::snprintf(name, sizeof(name), "window-%06lld.cgcs",
+                    static_cast<long long>(ws.index));
+      trace::TraceSet window_trace("cgcd-window");
+      window_trace.reserve_events(events.size());
+      for (const trace::TaskEvent& event : events) {
+        window_trace.add_event(event);
+      }
+      window_trace.set_duration(ws.end - ws.start);
+      window_trace.finalize();
+      store::write_cgcs(window_trace, config.spill_dir + "/" + name);
+      std::string state;
+      ws.append_state(&state);
+      char digest[24];
+      std::snprintf(digest, sizeof(digest), "%016llx",
+                    static_cast<unsigned long long>(fnv1a(state)));
+      spill_jsonl << "{\"index\": " << ws.index << ", \"start\": " << ws.start
+                  << ", \"end\": " << ws.end
+                  << ", \"events\": " << ws.events.total()
+                  << ", \"state_fnv\": \"" << digest << "\", \"cgcs\": \""
+                  << name << "\"}\n";
+      ++windows_spilled;
+    });
+  }
+
+  // Ingest. Wall time is measured around ingest only — the load/
+  // generate cost is not part of the streaming rate.
+  StreamHealth io_health;
+  const auto wall0 = std::chrono::steady_clock::now();
+  if (config.generate) {
+    gen::GoogleModelConfig model_config;
+    model_config.task_sampling_rate = config.task_sampling_rate;
+    const auto horizon = static_cast<util::TimeSec>(config.generate_days *
+                                                    util::kSecondsPerDay);
+    const trace::TraceSet workload =
+        gen::GoogleWorkloadModel(model_config).generate_workload(horizon);
+    const std::vector<trace::TaskEvent> events = synthesize_events(workload);
+    replay_events(&engine, events, config.rate, config.batch_size);
+  } else if (config.input == "-") {
+    read_event_stream(
+        in, config.batch_size,
+        [&engine](std::span<const trace::TaskEvent> batch) {
+          engine.ingest(batch);
+        },
+        &io_health);
+  } else if (!config.input.empty()) {
+    trace::LoadOptions load_options;
+    load_options.strictness = config.strict_load
+                                  ? trace::Strictness::kStrict
+                                  : trace::Strictness::kTolerant;
+    load_options.on_damage = config.strict_load
+                                 ? trace::OnDamage::kFail
+                                 : trace::OnDamage::kQuarantine;
+    trace::LoadReport report;
+    const trace::TraceSet loaded =
+        trace::load_trace(config.input, load_options, &report);
+    io_health.parse_bad_lines += report.parse.lines_bad;
+    const std::vector<trace::TaskEvent> events = synthesize_events(loaded);
+    replay_events(&engine, events, config.rate, config.batch_size);
+  } else {
+    CGC_CHECK_MSG(false, "no input: give a trace path, \"-\", or generate");
+  }
+  engine.flush();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  DaemonStats stats;
+  stats.events = engine.events_ingested();
+  stats.windows_closed = engine.windows_closed();
+  stats.windows_spilled = windows_spilled;
+  stats.wall_seconds = wall_s;
+  stats.events_per_second =
+      wall_s > 0.0 ? static_cast<double>(stats.events) / wall_s : 0.0;
+  stats.health = engine.health();
+  stats.health.merge(io_health);
+
+  const auto previous_precision = out.precision(12);
+  out << "{\"summary\": {\"events\": " << stats.events
+      << ", \"windows_closed\": " << stats.windows_closed
+      << ", \"windows_spilled\": " << stats.windows_spilled
+      << ", \"wall_s\": " << stats.wall_seconds
+      << ", \"events_per_s\": " << stats.events_per_second
+      << ", \"health\": ";
+  write_health_json(out, stats.health);
+  out << "}";
+  if (!config.queries.empty()) {
+    const WindowStats* target = config.query_window >= 0
+                                    ? engine.find(config.query_window)
+                                    : engine.latest();
+    out << ",\n\"window_found\": " << (target != nullptr ? "true" : "false")
+        << ",\n\"queries\": {";
+    const char* sep = "";
+    for (const std::string& query : config.queries) {
+      out << sep << "\n\"" << query << "\": ";
+      if (target == nullptr) {
+        out << "null";
+      } else {
+        target->write_json(out, query);
+      }
+      sep = ",";
+    }
+    out << "}";
+  }
+  out << "}\n";
+  out.precision(previous_precision);
+
+  if (obs::enabled()) {
+    obs::export_now();
+  }
+  if (stats_out != nullptr) {
+    *stats_out = stats;
+  }
+  return stats.health.lossy() ? util::kExitFailure : util::kExitOk;
+}
+
+}  // namespace cgc::stream

@@ -1,0 +1,164 @@
+#include "stream/replay.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <tuple>
+
+#include "exec/parallel.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace cgc::stream {
+
+namespace {
+
+constexpr std::int64_t kMicrosPerSecond = 1'000'000;
+
+/// clusterdata event code → TaskEventType; nullopt for unknown codes.
+bool event_from_code(std::int64_t code, trace::TaskEventType* out) {
+  switch (code) {
+    case 0:
+      *out = trace::TaskEventType::kSubmit;
+      return true;
+    case 1:
+      *out = trace::TaskEventType::kSchedule;
+      return true;
+    case 2:
+      *out = trace::TaskEventType::kEvict;
+      return true;
+    case 3:
+      *out = trace::TaskEventType::kFail;
+      return true;
+    case 4:
+      *out = trace::TaskEventType::kFinish;
+      return true;
+    case 5:
+      *out = trace::TaskEventType::kKill;
+      return true;
+    case 6:
+      *out = trace::TaskEventType::kLost;
+      return true;
+    case 7:
+    case 8:  // UPDATE_PENDING / UPDATE_RUNNING
+      *out = trace::TaskEventType::kUpdate;
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Stream sort order: time, then stable identity, then lifecycle order
+/// (SUBMIT < SCHEDULE < terminals) so a task's same-second events
+/// replay in state-machine order.
+bool event_before(const trace::TaskEvent& a, const trace::TaskEvent& b) {
+  return std::tuple(a.time, a.job_id, a.task_index,
+                    static_cast<int>(a.type)) <
+         std::tuple(b.time, b.job_id, b.task_index, static_cast<int>(b.type));
+}
+
+}  // namespace
+
+std::vector<trace::TaskEvent> synthesize_events(
+    const trace::TraceSet& trace) {
+  std::vector<trace::TaskEvent> events;
+  if (!trace.events().empty()) {
+    events.assign(trace.events().begin(), trace.events().end());
+    return events;
+  }
+  events.reserve(trace.tasks().size() * 3);
+  for (const trace::Task& task : trace.tasks()) {
+    trace::TaskEvent base;
+    base.job_id = task.job_id;
+    base.task_index = task.task_index;
+    base.priority = task.priority;
+    base.machine_id = -1;
+
+    trace::TaskEvent submit = base;
+    submit.time = task.submit_time;
+    submit.type = trace::TaskEventType::kSubmit;
+    events.push_back(submit);
+
+    if (task.schedule_time >= 0) {
+      trace::TaskEvent schedule = base;
+      schedule.time = task.schedule_time;
+      schedule.type = trace::TaskEventType::kSchedule;
+      schedule.machine_id = task.machine_id;
+      events.push_back(schedule);
+    }
+    if (task.end_time >= 0) {
+      trace::TaskEvent end = base;
+      end.time = task.end_time;
+      end.type = task.end_event;
+      end.machine_id = task.machine_id;
+      events.push_back(end);
+    }
+  }
+  exec::parallel_sort(&events, event_before);
+  return events;
+}
+
+bool parse_google_event_line(std::string_view line,
+                             trace::TaskEvent* event) {
+  CGC_CHECK(event != nullptr);
+  static thread_local std::vector<std::string_view> fields;
+  util::split_fields(line, ',', &fields);
+  if (fields.size() < 9) {
+    return false;
+  }
+  try {
+    trace::TaskEvent e;
+    e.time = util::parse_int(fields[0]) / kMicrosPerSecond;
+    e.job_id = util::parse_int(fields[2]);
+    e.task_index = static_cast<std::int32_t>(util::parse_int(fields[3]));
+    e.machine_id = fields[4].empty() ? -1 : util::parse_int(fields[4]);
+    if (!event_from_code(util::parse_int(fields[5]), &e.type)) {
+      return false;
+    }
+    const std::int64_t file_priority = util::parse_int(fields[8]);
+    if (file_priority < 0 || file_priority >= trace::kNumPriorities) {
+      return false;
+    }
+    e.priority = static_cast<std::uint8_t>(file_priority + 1);
+    *event = e;
+    return true;
+  } catch (const util::Error&) {
+    return false;
+  }
+}
+
+std::uint64_t read_event_stream(
+    std::istream& in, std::size_t batch_size,
+    const std::function<void(std::span<const trace::TaskEvent>)>& sink,
+    StreamHealth* health) {
+  CGC_CHECK(batch_size > 0);
+  std::uint64_t delivered = 0;
+  std::vector<trace::TaskEvent> batch;
+  batch.reserve(batch_size);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    trace::TaskEvent event;
+    if (!parse_google_event_line(line, &event)) {
+      if (health != nullptr) {
+        ++health->parse_bad_lines;
+      }
+      continue;
+    }
+    batch.push_back(event);
+    if (batch.size() >= batch_size) {
+      sink(batch);
+      delivered += batch.size();
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    sink(batch);
+    delivered += batch.size();
+  }
+  return delivered;
+}
+
+}  // namespace cgc::stream

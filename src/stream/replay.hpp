@@ -1,0 +1,53 @@
+// Event-stream sources for the online daemon.
+//
+// The SlidingWindow engine consumes trace::TaskEvent batches; this
+// module turns the two kinds of input cgcd accepts into that shape:
+//
+//   * a loaded TraceSet (any cgc::trace::Loader format) — replayed via
+//     synthesize_events(), which uses the trace's own event log when it
+//     has one and otherwise reconstructs the SUBMIT/SCHEDULE/terminal
+//     triple per task record (generator workloads carry tasks but no
+//     event rows);
+//   * a pipe of Google clusterdata task_events rows on stdin — parsed
+//     line by line, malformed rows counted into StreamHealth and never
+//     fatal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "stream/window.hpp"
+#include "trace/trace_set.hpp"
+
+namespace cgc::stream {
+
+/// Builds a time-sorted event stream from `trace`. The trace's own
+/// events are used verbatim when present (finalize() already sorted
+/// them); otherwise events are synthesized from the task records.
+/// Synthesis emits one submit/schedule/terminal cycle per task —
+/// resubmission cycles are not reconstructed (the Task record only
+/// keeps their count), so replayed queue depths are a lower bound for
+/// traces with evictions.
+std::vector<trace::TaskEvent> synthesize_events(const trace::TraceSet& trace);
+
+/// Parses one Google clusterdata task_events row (13 columns: time in
+/// microseconds, event codes 0-8, file priorities 0-11 shifted to the
+/// paper's 1-12). Returns false and leaves *event unspecified on a
+/// malformed row. Never throws.
+bool parse_google_event_line(std::string_view line, trace::TaskEvent* event);
+
+/// Streams Google-format task-event rows from `in` (typically a pipe),
+/// delivering batches of up to `batch_size` events to `sink`. Malformed
+/// rows are skipped and counted into health->parse_bad_lines (never
+/// fatal — the daemon's degraded-ingest contract). Returns the number
+/// of events delivered.
+std::uint64_t read_event_stream(
+    std::istream& in, std::size_t batch_size,
+    const std::function<void(std::span<const trace::TaskEvent>)>& sink,
+    StreamHealth* health);
+
+}  // namespace cgc::stream

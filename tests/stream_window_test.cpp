@@ -1,0 +1,333 @@
+// SlidingWindow engine tests: window semantics (tumbling, overlapping,
+// watermark, late policy), streaming-vs-batch agreement on a generated
+// workload within the sketch error bound, bit-identical state across
+// CGC_THREADS, and deterministic degradation under fault injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "exec/parallel.hpp"
+#include "fault/fault.hpp"
+#include "gen/google_model.hpp"
+#include "stats/ecdf.hpp"
+#include "stream/replay.hpp"
+#include "stream/window.hpp"
+#include "trace/trace_set.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cgc {
+namespace {
+
+using stream::LatePolicy;
+using stream::SlidingWindow;
+using stream::WindowConfig;
+using stream::WindowStats;
+using trace::TaskEvent;
+using trace::TaskEventType;
+
+TaskEvent make_event(util::TimeSec time, TaskEventType type,
+                     std::int64_t job_id, std::int32_t task_index,
+                     int priority = 1, std::int64_t machine_id = -1) {
+  TaskEvent e;
+  e.time = time;
+  e.type = type;
+  e.job_id = job_id;
+  e.task_index = task_index;
+  e.priority = static_cast<std::uint8_t>(priority);
+  e.machine_id = machine_id;
+  return e;
+}
+
+/// Canonical state of every closed window, concatenated.
+std::string closed_state(const SlidingWindow& engine) {
+  std::string bytes;
+  for (const WindowStats& ws : engine.closed()) {
+    ws.append_state(&bytes);
+  }
+  return bytes;
+}
+
+TEST(SlidingWindowTest, TumblingWindowLifecycleAndMetrics) {
+  WindowConfig config;
+  config.width = 100;
+  config.watermark_lag = 10;
+  config.rate_bins = 10;
+  SlidingWindow engine(config);
+
+  std::vector<TaskEvent> batch = {
+      make_event(5, TaskEventType::kSubmit, 1, 0, 2),
+      make_event(7, TaskEventType::kSchedule, 1, 0, 2, 42),
+      make_event(20, TaskEventType::kSubmit, 2, 0, 9),
+      make_event(25, TaskEventType::kSchedule, 2, 0, 9, 42),
+      make_event(57, TaskEventType::kFinish, 1, 0, 2, 42),
+  };
+  engine.ingest(batch);
+  // Watermark is 57 - 10: window [0, 100) still open.
+  EXPECT_EQ(engine.windows_closed(), 0u);
+  ASSERT_EQ(engine.open().size(), 1u);
+
+  // An event at 115 closes window 0 (watermark 105 >= 100).
+  std::vector<TaskEvent> next = {
+      make_event(115, TaskEventType::kFinish, 2, 0, 9, 42),
+  };
+  engine.ingest(next);
+  ASSERT_EQ(engine.windows_closed(), 1u);
+  const WindowStats* w0 = engine.find(0);
+  ASSERT_NE(w0, nullptr);
+  EXPECT_TRUE(w0->closed);
+  EXPECT_EQ(w0->start, 0);
+  EXPECT_EQ(w0->end, 100);
+  EXPECT_EQ(w0->events.total(), 5);
+  EXPECT_EQ(w0->events.total(TaskEventType::kSubmit), 2);
+  EXPECT_EQ(w0->events.submits_in_band(trace::PriorityBand::kLow), 1);
+  EXPECT_EQ(w0->events.submits_in_band(trace::PriorityBand::kHigh), 1);
+  // Task (1,0): scheduled at 7, finished at 57 -> run duration 50.
+  ASSERT_EQ(w0->task_length.count(), 1u);
+  EXPECT_DOUBLE_EQ(w0->task_length.min(), 50.0);
+  // Job 1 fully done at 57, first submit 5 -> job length 52.
+  ASSERT_EQ(w0->job_length.count(), 1u);
+  EXPECT_DOUBLE_EQ(w0->job_length.min(), 52.0);
+  // One submission gap: 20 - 5 = 15.
+  ASSERT_EQ(w0->submit_gap.count(), 1u);
+  EXPECT_DOUBLE_EQ(w0->submit_gap_moments.mean(), 15.0);
+  // At close, task (2,0) is still running on machine 42.
+  EXPECT_EQ(w0->pending_at_close, 0);
+  EXPECT_EQ(w0->running_at_close, 1);
+  EXPECT_EQ(w0->hosts_seen, 1);
+  ASSERT_EQ(w0->host_load.count(), 1u);
+  EXPECT_DOUBLE_EQ(w0->host_load.max(), 1.0);
+  // Rate bins: submits at 5 and 20 land in sub-bins 0 and 2.
+  EXPECT_EQ(w0->rate_bins[0], 1);
+  EXPECT_EQ(w0->rate_bins[2], 1);
+
+  engine.flush();
+  EXPECT_EQ(engine.windows_closed(), 2u);
+  const WindowStats* w1 = engine.find(1);
+  ASSERT_NE(w1, nullptr);
+  // Window [100, 200): the finish of task (2,0), run 115 - 25 = 90.
+  EXPECT_EQ(w1->events.total(), 1);
+  ASSERT_EQ(w1->task_length.count(), 1u);
+  EXPECT_DOUBLE_EQ(w1->task_length.min(), 90.0);
+  EXPECT_EQ(w1->running_at_close, 0);
+  EXPECT_EQ(w1->hosts_seen, 0);
+  EXPECT_FALSE(engine.health().lossy());
+}
+
+TEST(SlidingWindowTest, OverlappingWindowsAssignEventsToEverySlide) {
+  WindowConfig config;
+  config.width = 100;
+  config.slide = 50;
+  config.watermark_lag = 0;
+  SlidingWindow engine(config);
+  // t=75 belongs to [0,100) and [50,150).
+  std::vector<TaskEvent> batch = {
+      make_event(75, TaskEventType::kSubmit, 1, 0),
+      make_event(300, TaskEventType::kSubmit, 2, 0),
+  };
+  engine.ingest(batch);
+  engine.flush();
+  const WindowStats* w0 = engine.find(0);
+  const WindowStats* w1 = engine.find(1);
+  const WindowStats* w2 = engine.find(2);
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w1, nullptr);
+  ASSERT_NE(w2, nullptr);
+  EXPECT_EQ(w0->events.total(), 1);
+  EXPECT_EQ(w1->events.total(), 1);
+  EXPECT_EQ(w2->events.total(), 0);  // [100,200) sees neither
+  // t=300 belongs to [250,350) and [300,400): windows 5 and 6.
+  EXPECT_EQ(engine.find(4)->events.total(), 0);
+  EXPECT_EQ(engine.find(5)->events.total(), 1);
+  EXPECT_EQ(engine.find(6)->events.total(), 1);
+}
+
+TEST(SlidingWindowTest, LateEventsAreCountedAndDroppedOrAbsorbed) {
+  for (const LatePolicy policy :
+       {LatePolicy::kDrop, LatePolicy::kAbsorbOldest}) {
+    WindowConfig config;
+    config.width = 100;
+    config.watermark_lag = 0;
+    config.late_policy = policy;
+    SlidingWindow engine(config);
+    engine.ingest(std::vector<TaskEvent>{
+        make_event(250, TaskEventType::kSubmit, 1, 0),
+    });
+    // Windowing starts at the first event's window [200,300): windows 0
+    // and 1 never exist, so an event at t=30 is late.
+    ASSERT_EQ(engine.windows_closed(), 0u);
+    engine.ingest(std::vector<TaskEvent>{
+        make_event(30, TaskEventType::kSubmit, 2, 0),
+    });
+    engine.flush();
+    EXPECT_EQ(engine.windows_closed(), 1u);
+    EXPECT_EQ(engine.find(0), nullptr);
+    if (policy == LatePolicy::kDrop) {
+      EXPECT_EQ(engine.health().late_dropped, 1u);
+      EXPECT_TRUE(engine.health().lossy());
+      EXPECT_EQ(engine.find(2)->events.total(), 1);
+    } else {
+      EXPECT_EQ(engine.health().late_absorbed, 1u);
+      EXPECT_FALSE(engine.health().lossy());
+      // Absorbed into the oldest open window at ingest time: window 2.
+      EXPECT_EQ(engine.find(2)->events.total(), 2);
+    }
+  }
+}
+
+/// Streaming metrics over one whole-trace window must agree with the
+/// batch kernels: identical sample counts (so identical quantile ranks)
+/// and quantiles within the sketch's relative error bound.
+TEST(SlidingWindowTest, StreamingMatchesBatchKernelsWithinSketchBound) {
+  gen::GoogleModelConfig model_config;
+  // Full task sampling: the generator keeps Job records complete even
+  // when task records are sampled, so event-derived job lengths only
+  // match the batch job_lengths() at sampling rate 1.0.
+  model_config.task_sampling_rate = 1.0;
+  const trace::TraceSet workload =
+      gen::GoogleWorkloadModel(model_config)
+          .generate_workload(util::kSecondsPerDay / 2);
+  const std::vector<TaskEvent> events = stream::synthesize_events(workload);
+  ASSERT_FALSE(events.empty());
+
+  const double alpha = 0.01;
+  WindowConfig config;
+  config.width = 4 * util::kSecondsPerDay;  // one window covers the trace
+  config.relative_error = alpha;
+  SlidingWindow engine(config);
+  // Feed in bounded batches, as the daemon would.
+  for (std::size_t i = 0; i < events.size(); i += 4096) {
+    const std::size_t n = std::min<std::size_t>(4096, events.size() - i);
+    engine.ingest(std::span<const TaskEvent>(events).subspan(i, n));
+  }
+  engine.flush();
+  ASSERT_EQ(engine.windows_closed(), 1u);
+  const WindowStats& w = *engine.latest();
+
+  const std::vector<double> batch_job_lengths = workload.job_lengths();
+  const std::vector<double> batch_task_lengths =
+      workload.task_run_durations();
+  const std::vector<double> batch_gaps = workload.submission_intervals();
+  ASSERT_EQ(w.job_length.count(), batch_job_lengths.size());
+  ASSERT_EQ(w.task_length.count(), batch_task_lengths.size());
+  ASSERT_EQ(w.submit_gap.count(), batch_gaps.size());
+
+  const stats::Ecdf job_ecdf(batch_job_lengths);
+  const stats::Ecdf task_ecdf(batch_task_lengths);
+  const stats::Ecdf gap_ecdf(batch_gaps);
+  for (const double q : {0.10, 0.50, 0.90, 0.99}) {
+    EXPECT_LE(std::abs(w.job_length.quantile(q) - job_ecdf.quantile(q)),
+              alpha * job_ecdf.quantile(q) + 1e-9)
+        << "job length q=" << q;
+    EXPECT_LE(std::abs(w.task_length.quantile(q) - task_ecdf.quantile(q)),
+              alpha * task_ecdf.quantile(q) + 1e-9)
+        << "task length q=" << q;
+    EXPECT_LE(std::abs(w.submit_gap.quantile(q) - gap_ecdf.quantile(q)),
+              alpha * gap_ecdf.quantile(q) + 1e-9)
+        << "submission gap q=" << q;
+  }
+  // The gap mean is tracked exactly (Welford, not bucketed).
+  EXPECT_NEAR(w.submit_gap_moments.mean(), gap_ecdf.mean(),
+              1e-9 * gap_ecdf.mean());
+  // Priority-mix counts are exact: one SUBMIT per task.
+  EXPECT_EQ(w.events.total(TaskEventType::kSubmit),
+            static_cast<std::int64_t>(workload.tasks().size()));
+  EXPECT_FALSE(engine.health().lossy());
+}
+
+/// The whole engine state — every sketch bit of every window — must be
+/// identical at 1 worker and at 8, for identical batching.
+TEST(SlidingWindowTest, StateIsBitIdenticalAcrossThreadCounts) {
+  gen::GoogleModelConfig model_config;
+  model_config.task_sampling_rate = 0.05;
+  const trace::TraceSet workload =
+      gen::GoogleWorkloadModel(model_config)
+          .generate_workload(util::kSecondsPerDay / 2);
+  const std::vector<TaskEvent> events = stream::synthesize_events(workload);
+
+  const auto run = [&events](util::ThreadPool* pool) {
+    exec::ScopedPool scoped(pool);
+    WindowConfig config;
+    config.width = util::kSecondsPerHour;
+    config.slide = util::kSecondsPerHour / 2;
+    SlidingWindow engine(config);
+    for (std::size_t i = 0; i < events.size(); i += 2048) {
+      const std::size_t n = std::min<std::size_t>(2048, events.size() - i);
+      engine.ingest(std::span<const TaskEvent>(events).subspan(i, n));
+    }
+    engine.flush();
+    return closed_state(engine);
+  };
+  util::ThreadPool one(1);
+  util::ThreadPool many(8);
+  const std::string state_one = run(&one);
+  const std::string state_many = run(&many);
+  ASSERT_FALSE(state_one.empty());
+  EXPECT_EQ(state_one, state_many);
+}
+
+TEST(SlidingWindowTest, FaultInjectionDegradesDeterministically) {
+  gen::GoogleModelConfig model_config;
+  model_config.task_sampling_rate = 0.05;
+  const trace::TraceSet workload =
+      gen::GoogleWorkloadModel(model_config)
+          .generate_workload(util::kSecondsPerDay / 4);
+  const std::vector<TaskEvent> events = stream::synthesize_events(workload);
+
+  fault::configure("stream.drop:p=0.05,seed=9;stream.dup:p=0.02,seed=10");
+  const auto run = [&events] {
+    WindowConfig config;
+    config.width = util::kSecondsPerHour;
+    SlidingWindow engine(config);
+    engine.ingest(events);
+    engine.flush();
+    return std::pair(engine.health(), closed_state(engine));
+  };
+  const auto [health_a, state_a] = run();
+  const auto [health_b, state_b] = run();
+  fault::configure("");
+
+  EXPECT_GT(health_a.faults_dropped, 0u);
+  EXPECT_GT(health_a.faults_duplicated, 0u);
+  EXPECT_TRUE(health_a.lossy());
+  // Same spec, same stream -> identical damage and identical state.
+  EXPECT_EQ(health_a.faults_dropped, health_b.faults_dropped);
+  EXPECT_EQ(health_a.faults_duplicated, health_b.faults_duplicated);
+  EXPECT_EQ(state_a, state_b);
+
+  // And a disarmed run over the same events is clean.
+  WindowConfig config;
+  config.width = util::kSecondsPerHour;
+  SlidingWindow clean(config);
+  clean.ingest(events);
+  clean.flush();
+  EXPECT_FALSE(clean.health().lossy());
+  EXPECT_EQ(clean.events_ingested(), events.size());
+}
+
+TEST(SlidingWindowTest, SpillHookSeesEveryClosedWindowInOrder) {
+  WindowConfig config;
+  config.width = 100;
+  config.watermark_lag = 0;
+  config.keep_events = true;
+  SlidingWindow engine(config);
+  std::vector<std::int64_t> spilled;
+  std::size_t spilled_events = 0;
+  engine.set_spill([&](const WindowStats& ws,
+                       std::span<const TaskEvent> events) {
+    spilled.push_back(ws.index);
+    spilled_events += events.size();
+  });
+  engine.ingest(std::vector<TaskEvent>{
+      make_event(10, TaskEventType::kSubmit, 1, 0),
+      make_event(120, TaskEventType::kSubmit, 2, 0),
+      make_event(340, TaskEventType::kSubmit, 3, 0),
+  });
+  engine.flush();
+  EXPECT_EQ(spilled, (std::vector<std::int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(spilled_events, 3u);
+}
+
+}  // namespace
+}  // namespace cgc
