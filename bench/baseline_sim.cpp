@@ -1,0 +1,702 @@
+#include "baseline_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace cgc::bench::seedsim {
+
+namespace {
+
+using trace::PriorityBand;
+using trace::TaskEventType;
+using trace::TimeSec;
+
+/// One logical task across its resubmissions.
+struct TaskRun {
+  const TaskSpec* spec = nullptr;
+  trace::TaskState state = trace::TaskState::kUnsubmitted;
+  /// Work left until FINISH (decremented as run time accumulates).
+  TimeSec remaining = 0;
+  /// Run time left until the scripted abnormal fate fires in the current
+  /// attempt; <0 when the fate no longer applies.
+  TimeSec fate_remaining = -1;
+  std::int32_t resubmits_left = 0;
+  std::int32_t machine = -1;  ///< index into machines while running
+  std::int64_t last_machine_id = -1;  ///< machine of the last placement
+  TimeSec run_start = -1;     ///< start of current attempt
+  /// Generation counter: bumped on eviction so queued end-events for the
+  /// aborted attempt are discarded.
+  std::uint32_t generation = 0;
+
+  // Trace-facing bookkeeping.
+  TimeSec first_submit = -1;
+  TimeSec first_schedule = -1;
+  TimeSec end_time = -1;
+  TaskEventType end_event = TaskEventType::kFinish;
+  std::int32_t resubmit_count = 0;
+};
+
+enum class EvKind : std::uint8_t { kSubmit = 0, kEnd = 1 };
+
+struct Event {
+  TimeSec time;
+  std::uint64_t seq;  ///< tie-break for deterministic ordering
+  EvKind kind;
+  std::int64_t task;       ///< index into the runs vector
+  std::uint32_t generation;  ///< for kEnd: attempt this event belongs to
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) {
+      return time > other.time;
+    }
+    return seq > other.seq;
+  }
+};
+
+struct MachineState {
+  trace::Machine info;
+  double cpu_assigned = 0.0;
+  double mem_assigned = 0.0;
+  std::vector<std::int64_t> running;  ///< task indices
+
+  /// Memory admission limit for a task of the given priority: the
+  /// best-effort band may overcommit into the evictable slice.
+  static double mem_limit(const TaskSpec& spec, const SimConfig& cfg) {
+    return trace::band_of(spec.priority) == trace::PriorityBand::kLow
+               ? cfg.mem_overcommit_low_priority
+               : cfg.mem_admission_headroom;
+  }
+
+  bool fits(const TaskSpec& spec, const SimConfig& cfg) const {
+    return info.satisfies(spec.required_attributes) &&
+           cpu_assigned + spec.cpu_request <=
+               cfg.cpu_admission_limit * info.cpu_capacity &&
+           mem_assigned + spec.mem_request <=
+               mem_limit(spec, cfg) * info.mem_capacity;
+  }
+
+  /// Relative utilization after hypothetically adding the task.
+  double relative_after(const TaskSpec& spec) const {
+    const double cpu =
+        (cpu_assigned + spec.cpu_request) / info.cpu_capacity;
+    const double mem =
+        (mem_assigned + spec.mem_request) / info.mem_capacity;
+    return std::max(cpu, mem);
+  }
+
+  /// Leftover normalized slack after hypothetically adding the task.
+  double slack_after(const TaskSpec& spec) const {
+    const double cpu =
+        info.cpu_capacity - (cpu_assigned + spec.cpu_request);
+    const double mem =
+        info.mem_capacity - (mem_assigned + spec.mem_request);
+    return cpu + mem;
+  }
+};
+
+}  // namespace
+
+struct BaselineSim::Impl {
+  Impl(std::vector<trace::Machine> machine_list, SimConfig cfg,
+       const Workload& workload, SimStats* stats)
+      : config(cfg), rng(cfg.seed), stats(*stats) {
+    CGC_CHECK_MSG(!machine_list.empty(), "simulator needs machines");
+    machines.reserve(machine_list.size());
+    for (trace::Machine& m : machine_list) {
+      CGC_CHECK_MSG(m.cpu_capacity > 0 && m.mem_capacity > 0,
+                    "machine capacities must be positive");
+      machines.push_back(MachineState{m, 0.0, 0.0, {}});
+    }
+    runs.resize(workload.size());
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      const TaskSpec& spec = workload[i];
+      CGC_CHECK_MSG(spec.priority >= trace::kMinPriority &&
+                        spec.priority <= trace::kMaxPriority,
+                    "task priority out of range");
+      CGC_CHECK_MSG(spec.duration > 0, "task duration must be positive");
+      runs[i].spec = &spec;
+      runs[i].remaining = spec.duration;
+      runs[i].resubmits_left = spec.max_resubmits;
+      push_event(spec.submit_time, EvKind::kSubmit,
+                 static_cast<std::int64_t>(i), 0);
+    }
+  }
+
+  // ---- event queue ---------------------------------------------------------
+  void push_event(TimeSec time, EvKind kind, std::int64_t task,
+                  std::uint32_t generation) {
+    events.push(Event{time, next_seq++, kind, task, generation});
+  }
+
+  // ---- trace recording ------------------------------------------------------
+  void record(TimeSec time, const TaskRun& run, TaskEventType type,
+              std::int64_t machine_id) {
+    if (!config.record_events) {
+      return;
+    }
+    trace::TaskEvent e;
+    e.time = time;
+    e.job_id = run.spec->job_id;
+    e.task_index = run.spec->task_index;
+    e.machine_id = machine_id;
+    e.type = type;
+    e.priority = run.spec->priority;
+    out.add_event(e);
+  }
+
+  // ---- scheduling ----------------------------------------------------------
+  int pick_machine(const TaskSpec& spec) {
+    int best = -1;
+    double best_score = 0.0;
+    int fitting_seen = 0;
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      const MachineState& ms = machines[m];
+      if (!ms.fits(spec, config)) {
+        continue;
+      }
+      ++fitting_seen;
+      switch (config.placement) {
+        case PlacementPolicy::kFirstFit:
+          return static_cast<int>(m);
+        case PlacementPolicy::kRandom:
+          // Reservoir sampling over fitting machines.
+          if (rng.uniform_int(1, fitting_seen) == 1) {
+            best = static_cast<int>(m);
+          }
+          break;
+        case PlacementPolicy::kBalanced: {
+          const double score = ms.relative_after(spec);
+          if (best < 0 || score < best_score) {
+            best = static_cast<int>(m);
+            best_score = score;
+          }
+          break;
+        }
+        case PlacementPolicy::kBestFit: {
+          const double score = ms.slack_after(spec);
+          if (best < 0 || score < best_score) {
+            best = static_cast<int>(m);
+            best_score = score;
+          }
+          break;
+        }
+        case PlacementPolicy::kWorstFit: {
+          const double score = ms.slack_after(spec);
+          if (best < 0 || score > best_score) {
+            best = static_cast<int>(m);
+            best_score = score;
+          }
+          break;
+        }
+      }
+    }
+    return best;
+  }
+
+  void start_running(TimeSec now, std::int64_t task, int machine) {
+    TaskRun& run = runs[task];
+    MachineState& ms = machines[static_cast<std::size_t>(machine)];
+    run.state = trace::TaskState::kRunning;
+    run.machine = machine;
+    run.last_machine_id = ms.info.machine_id;
+    run.run_start = now;
+    if (run.first_schedule < 0) {
+      run.first_schedule = now;
+    }
+    ms.cpu_assigned += run.spec->cpu_request;
+    ms.mem_assigned += run.spec->mem_request;
+    ms.running.push_back(task);
+    ++stats.scheduled;
+    record(now, run, TaskEventType::kSchedule, ms.info.machine_id);
+
+    // Isolation eviction: a freshly placed mid/high-priority task may
+    // push out its lowest-priority neighbor.
+    if (config.preemption &&
+        trace::band_of(run.spec->priority) != PriorityBand::kLow &&
+        config.isolation_eviction_probability > 0.0 &&
+        rng.bernoulli(config.isolation_eviction_probability)) {
+      evict_lowest_below(now, machine, run.spec->priority);
+    }
+
+    // Queue the attempt's end: the scripted fate if it fires before the
+    // work completes, otherwise FINISH.
+    TimeSec end_after = run.remaining;
+    if (run.fate_remaining >= 0 && run.fate_remaining < end_after) {
+      end_after = run.fate_remaining;
+    }
+    push_event(now + std::max<TimeSec>(end_after, 1), EvKind::kEnd, task,
+               run.generation);
+  }
+
+  void remove_from_machine(std::int64_t task) {
+    TaskRun& run = runs[task];
+    CGC_CHECK(run.machine >= 0);
+    MachineState& ms = machines[static_cast<std::size_t>(run.machine)];
+    ms.cpu_assigned =
+        std::max(0.0, ms.cpu_assigned - run.spec->cpu_request);
+    ms.mem_assigned =
+        std::max(0.0, ms.mem_assigned - run.spec->mem_request);
+    const auto it = std::find(ms.running.begin(), ms.running.end(), task);
+    CGC_CHECK(it != ms.running.end());
+    ms.running.erase(it);
+    run.machine = -1;
+  }
+
+  /// Credits run time of the current attempt and clears run bookkeeping.
+  void account_run_time(TimeSec now, TaskRun& run) {
+    const TimeSec ran = now - run.run_start;
+    run.remaining = std::max<TimeSec>(0, run.remaining - ran);
+    if (run.fate_remaining >= 0) {
+      run.fate_remaining = std::max<TimeSec>(0, run.fate_remaining - ran);
+    }
+    run.run_start = -1;
+  }
+
+  void enqueue_pending(TimeSec now, std::int64_t task) {
+    TaskRun& run = runs[task];
+    run.state = trace::TaskState::kPending;
+    pending[run.spec->priority - 1].push_back(task);
+    ++pending_count;
+    stats.max_pending_depth =
+        std::max(stats.max_pending_depth, pending_count);
+    record(now, run, TaskEventType::kSubmit, -1);
+  }
+
+  /// Evicts enough lower-priority tasks from `machine` to fit `spec`.
+  /// Caller guarantees feasibility was checked.
+  void evict_for(TimeSec now, int machine, const TaskSpec& spec) {
+    MachineState& ms = machines[static_cast<std::size_t>(machine)];
+    // Lowest priorities go first; stable order for determinism.
+    std::vector<std::int64_t> victims_pool = ms.running;
+    std::sort(victims_pool.begin(), victims_pool.end(),
+              [this](std::int64_t a, std::int64_t b) {
+                if (runs[a].spec->priority != runs[b].spec->priority) {
+                  return runs[a].spec->priority < runs[b].spec->priority;
+                }
+                return a < b;
+              });
+    for (const std::int64_t victim : victims_pool) {
+      if (ms.fits(spec, config)) {
+        break;
+      }
+      TaskRun& v = runs[victim];
+      if (v.spec->priority >= spec.priority) {
+        break;  // only strictly lower priorities are preemptible
+      }
+      account_run_time(now, v);
+      remove_from_machine(victim);
+      ++v.generation;  // invalidate the queued end event
+      v.state = trace::TaskState::kDead;
+      ++stats.evicted;
+      record(now, v, TaskEventType::kEvict, ms.info.machine_id);
+      // Evicted tasks re-enter the pending queue shortly after.
+      ++v.resubmit_count;
+      ++stats.resubmits;
+      push_event(now + config.evict_requeue_delay, EvKind::kSubmit, victim,
+                 v.generation);
+    }
+  }
+
+  /// Evicts the single lowest-priority task on `machine` whose priority
+  /// is strictly below `threshold` (no-op when none exists).
+  void evict_lowest_below(TimeSec now, int machine, std::uint8_t threshold) {
+    MachineState& ms = machines[static_cast<std::size_t>(machine)];
+    std::int64_t victim = -1;
+    for (const std::int64_t t : ms.running) {
+      if (runs[t].spec->priority >= threshold) {
+        continue;
+      }
+      if (victim < 0 ||
+          runs[t].spec->priority < runs[victim].spec->priority) {
+        victim = t;
+      }
+    }
+    if (victim < 0) {
+      return;
+    }
+    TaskRun& v = runs[victim];
+    account_run_time(now, v);
+    remove_from_machine(victim);
+    ++v.generation;
+    v.state = trace::TaskState::kDead;
+    ++stats.evicted;
+    record(now, v, TaskEventType::kEvict, ms.info.machine_id);
+    ++v.resubmit_count;
+    ++stats.resubmits;
+    push_event(now + config.evict_requeue_delay, EvKind::kSubmit, victim,
+               v.generation);
+  }
+
+  /// Can eviction of strictly-lower-priority tasks make room on machine m?
+  bool evictable_fit(const MachineState& ms, const TaskSpec& spec) const {
+    if (!ms.info.satisfies(spec.required_attributes)) {
+      return false;
+    }
+    double cpu = ms.cpu_assigned;
+    double mem = ms.mem_assigned;
+    for (const std::int64_t t : ms.running) {
+      if (runs[t].spec->priority < spec.priority) {
+        cpu -= runs[t].spec->cpu_request;
+        mem -= runs[t].spec->mem_request;
+      }
+    }
+    return cpu + spec.cpu_request <=
+               config.cpu_admission_limit * ms.info.cpu_capacity &&
+           mem + spec.mem_request <=
+               MachineState::mem_limit(spec, config) * ms.info.mem_capacity;
+  }
+
+  /// One scheduler pass: highest priority first, FCFS within a priority.
+  /// Unplaceable tasks stay queued (skipped, not blocking — Google tasks
+  /// carry per-task constraints, so the real scheduler also skips).
+  void schedule_pass(TimeSec now) {
+    for (int p = trace::kNumPriorities - 1; p >= 0; --p) {
+      std::deque<std::int64_t>& queue = pending[p];
+      std::deque<std::int64_t> still_pending;
+      std::size_t failure_streak = 0;
+      while (!queue.empty()) {
+        if (failure_streak >= config.max_schedule_failures_per_pass) {
+          // Cluster is effectively full for this priority; keep FIFO
+          // order and retry on the next pass.
+          while (!queue.empty()) {
+            still_pending.push_back(queue.front());
+            queue.pop_front();
+          }
+          break;
+        }
+        const std::int64_t task = queue.front();
+        queue.pop_front();
+        TaskRun& run = runs[task];
+        const TaskSpec& spec = *run.spec;
+        int machine = pick_machine(spec);
+        if (machine < 0 && config.preemption) {
+          for (std::size_t m = 0; m < machines.size(); ++m) {
+            if (evictable_fit(machines[m], spec)) {
+              evict_for(now, static_cast<int>(m), spec);
+              machine = static_cast<int>(m);
+              break;
+            }
+          }
+        }
+        if (machine < 0) {
+          still_pending.push_back(task);
+          ++failure_streak;
+          continue;
+        }
+        failure_streak = 0;
+        --pending_count;
+        start_running(now, task, machine);
+      }
+      queue.swap(still_pending);
+    }
+  }
+
+  // ---- event handlers --------------------------------------------------------
+  void on_submit(TimeSec now, std::int64_t task, std::uint32_t generation) {
+    TaskRun& run = runs[task];
+    if (generation != run.generation) {
+      return;  // stale
+    }
+    if (run.first_submit < 0) {
+      run.first_submit = now;
+      ++stats.submitted;
+      // Initialize the scripted fate countdown for the first attempt.
+      if (run.spec->fate != TaskEventType::kFinish) {
+        run.fate_remaining = run.spec->abnormal_after;
+      }
+    }
+    enqueue_pending(now, task);
+    need_schedule = true;
+  }
+
+  void on_end(TimeSec now, std::int64_t task, std::uint32_t generation) {
+    TaskRun& run = runs[task];
+    if (generation != run.generation || run.state != trace::TaskState::kRunning) {
+      return;  // stale event from an evicted attempt
+    }
+    const std::int64_t machine_id =
+        machines[static_cast<std::size_t>(run.machine)].info.machine_id;
+    account_run_time(now, run);
+    remove_from_machine(task);
+    ++run.generation;
+    run.state = trace::TaskState::kDead;
+
+    const bool fate_fired =
+        run.spec->fate != TaskEventType::kFinish && run.fate_remaining == 0;
+    TaskEventType etype = TaskEventType::kFinish;
+    if (fate_fired) {
+      etype = run.spec->fate;
+    }
+    record(now, run, etype, machine_id);
+    run.end_time = now;
+    run.end_event = etype;
+
+    switch (etype) {
+      case TaskEventType::kFinish:
+        ++stats.finished;
+        break;
+      case TaskEventType::kFail: {
+        ++stats.failed;
+        if (run.spec->resubmit_on_abnormal && run.resubmits_left > 0) {
+          --run.resubmits_left;
+          ++run.resubmit_count;
+          ++stats.resubmits;
+          // The retry repeats the failure until the budget runs out, then
+          // the final attempt is allowed to finish.
+          run.fate_remaining =
+              run.resubmits_left > 0 ? run.spec->abnormal_after : -1;
+          run.remaining = std::max<TimeSec>(run.remaining, 1);
+          const TimeSec delay = std::max<TimeSec>(
+              1, static_cast<TimeSec>(rng.exponential(
+                     1.0 / static_cast<double>(config.resubmit_delay_mean))));
+          push_event(now + delay, EvKind::kSubmit, task, run.generation);
+          run.end_time = -1;  // story continues
+        }
+        break;
+      }
+      case TaskEventType::kKill:
+        ++stats.killed;
+        break;
+      case TaskEventType::kLost:
+        ++stats.lost;
+        break;
+      default:
+        CGC_CHECK_MSG(false, "unexpected end event");
+    }
+    need_schedule = true;
+  }
+
+  // ---- sampling ---------------------------------------------------------------
+  /// Mean-one lognormal jitter factor.
+  double jitter(double sigma) {
+    if (sigma <= 0.0) {
+      return 1.0;
+    }
+    return std::exp(sigma * rng.normal() - 0.5 * sigma * sigma);
+  }
+
+  void sample_all(std::vector<trace::HostLoadSeries>* series, TimeSec now) {
+    const std::size_t num_machines = machines.size();
+    // Pending tasks are not bound to machines; spread the global count so
+    // the per-machine "queuing state" view (Fig 8b) reflects backlog.
+    const std::int64_t base_pending =
+        pending_count / static_cast<std::int64_t>(num_machines);
+    const std::int64_t extra_pending =
+        pending_count % static_cast<std::int64_t>(num_machines);
+
+    for (std::size_t m = 0; m < num_machines; ++m) {
+      MachineState& ms = machines[m];
+      float cpu[trace::kNumBands] = {0, 0, 0};
+      float mem[trace::kNumBands] = {0, 0, 0};
+      float page_cache = 0.0f;
+      double machine_cpu_factor = jitter(config.machine_cpu_jitter);
+      if (config.cpu_spike_probability > 0.0 &&
+          rng.bernoulli(config.cpu_spike_probability)) {
+        machine_cpu_factor *= config.cpu_spike_factor;
+      }
+      const double machine_mem_factor = jitter(config.machine_mem_jitter);
+      for (const std::int64_t t : ms.running) {
+        const TaskSpec& spec = *runs[t].spec;
+        const auto band =
+            static_cast<std::size_t>(trace::band_of(spec.priority));
+        cpu[band] += static_cast<float>(
+            spec.cpu_request * spec.cpu_usage_ratio * machine_cpu_factor *
+            jitter(config.cpu_usage_jitter));
+        mem[band] += static_cast<float>(
+            spec.mem_request * spec.mem_usage_ratio * machine_mem_factor *
+            jitter(config.mem_usage_jitter));
+        page_cache += spec.page_cache;
+      }
+      // Physical clamps: a machine cannot deliver more than its capacity.
+      float cpu_total = cpu[0] + cpu[1] + cpu[2];
+      if (cpu_total > ms.info.cpu_capacity && cpu_total > 0) {
+        const float scale = ms.info.cpu_capacity / cpu_total;
+        for (float& c : cpu) {
+          c *= scale;
+        }
+      }
+      float mem_total = mem[0] + mem[1] + mem[2];
+      if (mem_total > ms.info.mem_capacity && mem_total > 0) {
+        const float scale = ms.info.mem_capacity / mem_total;
+        for (float& v : mem) {
+          v *= scale;
+        }
+      }
+      page_cache =
+          std::min(page_cache, ms.info.page_cache_capacity);
+      (*series)[m].append(
+          cpu, mem, static_cast<float>(ms.mem_assigned), page_cache,
+          static_cast<std::int32_t>(ms.running.size()),
+          static_cast<std::int32_t>(
+              base_pending +
+              (static_cast<std::int64_t>(m) < extra_pending ? 1 : 0)));
+      (void)now;
+    }
+  }
+
+  // ---- members -----------------------------------------------------------------
+  SimConfig config;
+  util::Rng rng;
+  SimStats& stats;
+  std::vector<MachineState> machines;
+  std::vector<TaskRun> runs;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::uint64_t next_seq = 0;
+  std::deque<std::int64_t> pending[trace::kNumPriorities];
+  std::int64_t pending_count = 0;
+  bool need_schedule = false;
+  trace::TraceSet out;
+};
+
+BaselineSim::BaselineSim(std::vector<trace::Machine> machines, SimConfig config)
+    : machines_(std::move(machines)), config_(config) {
+  CGC_CHECK_MSG(!machines_.empty(), "simulator needs machines");
+}
+
+trace::TraceSet BaselineSim::run(const Workload& workload,
+                                const std::string& system_name) {
+  CGC_CHECK_MSG(!used_, "BaselineSim::run() is single-shot");
+  used_ = true;
+  CGC_CHECK_MSG(config_.horizon > 0, "horizon must be positive");
+  CGC_CHECK_MSG(config_.sample_period > 0, "sample period must be positive");
+
+  Impl impl(machines_, config_, workload, &stats_);
+  impl.out.set_system_name(system_name);
+  impl.out.set_duration(config_.horizon);
+
+  std::vector<trace::HostLoadSeries> series;
+  series.reserve(machines_.size());
+  for (const trace::Machine& m : machines_) {
+    impl.out.add_machine(m);
+    series.emplace_back(m.machine_id, 0, config_.sample_period);
+  }
+
+  TimeSec next_sample = 0;
+  while (!impl.events.empty() || next_sample < config_.horizon) {
+    TimeSec event_time = impl.events.empty()
+                             ? std::numeric_limits<TimeSec>::max()
+                             : impl.events.top().time;
+    // Emit samples up to the next event (or the horizon).
+    while (next_sample < config_.horizon && next_sample <= event_time) {
+      impl.sample_all(&series, next_sample);
+      next_sample += config_.sample_period;
+    }
+    if (impl.events.empty() || event_time >= config_.horizon) {
+      break;  // nothing left inside the window
+    }
+    // Drain all events at this timestamp, then run one scheduler pass.
+    while (!impl.events.empty() && impl.events.top().time == event_time) {
+      const Event e = impl.events.top();
+      impl.events.pop();
+      switch (e.kind) {
+        case EvKind::kSubmit:
+          impl.on_submit(e.time, e.task, e.generation);
+          break;
+        case EvKind::kEnd:
+          impl.on_end(e.time, e.task, e.generation);
+          break;
+      }
+    }
+    if (impl.need_schedule) {
+      impl.need_schedule = false;
+      impl.schedule_pass(event_time);
+    }
+  }
+
+  for (trace::HostLoadSeries& s : series) {
+    impl.out.add_host_load(std::move(s));
+  }
+
+  // Materialize per-task records.
+  for (const TaskRun& run : impl.runs) {
+    if (run.first_submit < 0) {
+      continue;  // never submitted inside the window
+    }
+    trace::Task t;
+    t.job_id = run.spec->job_id;
+    t.task_index = run.spec->task_index;
+    t.priority = run.spec->priority;
+    t.submit_time = run.first_submit;
+    t.schedule_time = run.first_schedule;
+    t.end_time = run.end_time;
+    t.end_event = run.end_event;
+    t.machine_id = run.last_machine_id;
+    t.resubmits = run.resubmit_count;
+    t.cpu_request = run.spec->cpu_request;
+    t.mem_request = run.spec->mem_request;
+    t.cpu_usage =
+        run.spec->cpu_request * run.spec->cpu_usage_ratio;
+    t.mem_usage =
+        run.spec->mem_request * run.spec->mem_usage_ratio;
+    impl.out.add_task(t);
+    if (run.state == trace::TaskState::kRunning) {
+      ++stats_.running_at_horizon;
+    } else if (run.state == trace::TaskState::kPending) {
+      ++stats_.never_scheduled;
+    }
+  }
+
+  // Aggregate jobs from tasks.
+  std::unordered_map<std::int64_t, trace::Job> jobs;
+  std::unordered_map<std::int64_t, double> job_cpu_seconds;
+  for (const trace::Task& t : impl.out.tasks()) {
+    auto [it, inserted] = jobs.try_emplace(t.job_id);
+    trace::Job& j = it->second;
+    if (inserted) {
+      j.job_id = t.job_id;
+      j.priority = t.priority;
+      j.submit_time = t.submit_time;
+      j.end_time = t.end_time;
+      j.num_tasks = 1;
+      j.mem_usage = t.mem_usage;
+    } else {
+      j.submit_time = std::min(j.submit_time, t.submit_time);
+      if (j.end_time >= 0) {
+        j.end_time = t.end_time < 0 ? -1 : std::max(j.end_time, t.end_time);
+      }
+      ++j.num_tasks;
+      j.mem_usage += t.mem_usage;
+    }
+    job_cpu_seconds[t.job_id] +=
+        static_cast<double>(t.run_duration());
+  }
+  for (auto& [id, job] : jobs) {
+    // Formula (4): one processor-equivalent per task; parallelism is the
+    // mean number of concurrently running tasks.
+    const trace::TimeSec length = job.length();
+    job.cpu_parallelism =
+        length > 0 ? static_cast<float>(job_cpu_seconds[id] /
+                                        static_cast<double>(length))
+                   : 1.0f;
+    impl.out.add_job(job);
+  }
+
+  impl.out.finalize();
+  return std::move(impl.out);
+}
+
+std::string_view placement_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kBalanced:
+      return "balanced";
+    case PlacementPolicy::kBestFit:
+      return "best-fit";
+    case PlacementPolicy::kWorstFit:
+      return "worst-fit";
+    case PlacementPolicy::kFirstFit:
+      return "first-fit";
+    case PlacementPolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+}  // namespace cgc::bench::seedsim

@@ -1,0 +1,42 @@
+// Frozen copy of the seed simulator core (heap event queue, per-task
+// structs, sequential mt19937 randomness), kept verbatim so
+// bench_perf_sim can measure the new engine against the exact code it
+// replaced on the same workload. Benchmark-only: nothing outside
+// bench_perf_sim may depend on this, and it is never updated — it is
+// the "before" in BENCH_sim.json's before/after numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster_sim.hpp"
+
+namespace cgc::bench::seedsim {
+
+using sim::PlacementPolicy;
+using sim::SimConfig;
+using sim::SimStats;
+using sim::TaskSpec;
+using sim::Workload;
+
+/// The seed ClusterSim, renamed. Same contract: construct, run() once,
+/// read stats(). Extra SimConfig fields added after the seed
+/// (placement_probe_limit, record_*) are ignored.
+class BaselineSim {
+ public:
+  BaselineSim(std::vector<trace::Machine> machines, SimConfig config);
+
+  trace::TraceSet run(const Workload& workload,
+                      const std::string& system_name = "simulated");
+
+  const SimStats& stats() const { return stats_; }
+
+ private:
+  struct Impl;
+  std::vector<trace::Machine> machines_;
+  SimConfig config_;
+  SimStats stats_;
+  bool used_ = false;
+};
+
+}  // namespace cgc::bench::seedsim

@@ -11,9 +11,21 @@
 // Output is a TraceSet: the full task-event stream, per-task and per-job
 // records, and per-machine HostLoadSeries sampled every 5 minutes — the
 // inputs to every host-load analyzer (Figs 7-13, Tables II-III).
+//
+// The engine is built for paper scale (a month over 12.5k hosts,
+// tens of millions of task events — see bench_perf_sim / BENCH_sim.json):
+// a calendar event queue (sim/event_queue.hpp), struct-of-arrays state
+// banks (sim/state_banks.hpp), counter-based randomness
+// (sim/sim_rng.hpp), and cgc::exec-sharded sampling and placement
+// scoring. Results are bit-identical at any CGC_THREADS — the same
+// determinism contract as cgc::exec and cgc::stream; DESIGN.md §13 has
+// the argument. Hot-loop metric sites (sim.*) arm via CGC_METRICS, and
+// the deterministic fault sites sim.task_lost / sim.machine_outage arm
+// via CGC_FAULT_SPEC.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -24,21 +36,42 @@ namespace cgc::sim {
 
 /// Aggregate counters exposed after a run (also used by tests).
 struct SimStats {
+  /// Tasks whose first SUBMIT fell inside the horizon.
   std::int64_t submitted = 0;
+  /// SCHEDULE events (placements, counting re-placements).
   std::int64_t scheduled = 0;
+  /// FINISH terminal events.
   std::int64_t finished = 0;
+  /// FAIL terminal events (each failed attempt counts).
   std::int64_t failed = 0;
+  /// KILL terminal events.
   std::int64_t killed = 0;
+  /// EVICT events (preemptions).
   std::int64_t evicted = 0;
+  /// LOST terminal events.
   std::int64_t lost = 0;
+  /// Times any task re-entered the pending queue (evictions + retries).
   std::int64_t resubmits = 0;
-  std::int64_t never_scheduled = 0;  ///< still pending at horizon
+  /// Tasks still pending when the horizon closed.
+  std::int64_t never_scheduled = 0;
+  /// Tasks still running when the horizon closed.
   std::int64_t running_at_horizon = 0;
+  /// High-water mark of the global pending-queue depth.
   std::int64_t max_pending_depth = 0;
+  /// Queue events processed (submits, requeues, attempt ends) — the
+  /// numerator of bench_perf_sim's events/s.
+  std::int64_t events_processed = 0;
+  /// Scheduler passes run (each scans the 12 priority FIFOs once).
+  std::int64_t schedule_passes = 0;
+  /// Fault-site firings (sim.task_lost + sim.machine_outage); 0 unless
+  /// CGC_FAULT_SPEC armed a sim.* site.
+  std::int64_t faults_injected = 0;
 
+  /// Terminal events of any kind (the paper's "task endings").
   std::int64_t terminal_events() const {
     return finished + failed + killed + evicted + lost;
   }
+  /// Fraction of terminal events that are abnormal (paper: 59.2%).
   double abnormal_fraction() const {
     const std::int64_t t = terminal_events();
     return t == 0 ? 0.0
@@ -50,9 +83,12 @@ struct SimStats {
 /// Runs the simulation of `workload` over `machines`.
 ///
 /// The returned TraceSet is finalized and contains machines, events
-/// (if config.record_events), tasks, jobs, and host-load series.
+/// (if config.record_events), tasks and jobs (if config.record_tasks),
+/// and host-load series (if config.record_host_load).
 class ClusterSim {
  public:
+  /// Validates that `machines` is non-empty; capacities are checked at
+  /// run() time.
   ClusterSim(std::vector<trace::Machine> machines, SimConfig config);
 
   /// Simulates the workload; callable once per instance.

@@ -1,6 +1,13 @@
 // Simulator configuration.
+//
+// Every field below is a modeling or engineering knob of ClusterSim;
+// each is documented where it is declared (CI enforces this for all
+// public sim headers — see tools/check_sim_doc_coverage.py). Defaults
+// model the paper's Google cluster; GridWorkloadModel overrides the
+// noise knobs for the steady Grid hosts (Fig 13).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -16,20 +23,30 @@ enum class PlacementPolicy : std::uint8_t {
   kBalanced = 0,  ///< minimize resulting max relative utilization
   kBestFit = 1,   ///< minimize leftover slack (tightest packing)
   kWorstFit = 2,  ///< maximize leftover slack (spread load)
-  kFirstFit = 3,  ///< first machine that fits (by id)
+  kFirstFit = 3,  ///< first machine that fits (by index)
   kRandom = 4,    ///< uniformly random among fitting machines
 };
 
+/// Short stable name of a placement policy ("balanced", "best-fit", ...).
 std::string_view placement_name(PlacementPolicy policy);
 
 struct SimConfig {
   /// Usage sampling period; the Google trace reports every 5 minutes.
+  /// Samples are taken at t = 0, period, 2*period, ... strictly before
+  /// the horizon, and a sample at time t observes the cluster *before*
+  /// any event at t is processed (an arrival at t=0 is not visible in
+  /// the t=0 sample). Must be positive.
   util::TimeSec sample_period = util::kSamplePeriod;
-  /// Simulation horizon; tasks still running at the horizon stay open
-  /// (end_time = -1), matching trace-boundary truncation.
+  /// Simulation horizon (exclusive): events at or after it are not
+  /// processed and the last sample lies strictly before it, so a run
+  /// records exactly horizon / sample_period samples per machine.
+  /// Tasks still running at the horizon stay open (end_time = -1),
+  /// matching trace-boundary truncation. Must be positive.
   util::TimeSec horizon = util::kSecondsPerMonth;
+  /// Machine-selection policy (see PlacementPolicy).
   PlacementPolicy placement = PlacementPolicy::kBalanced;
-  /// Allow high-priority tasks to evict lower-priority ones.
+  /// Allow high-priority tasks to evict lower-priority ones (both
+  /// capacity eviction when nothing fits, and isolation eviction below).
   bool preemption = true;
   /// Admission: total assigned memory must stay below this fraction of
   /// capacity — models the kernel/system overhead the paper infers from
@@ -56,6 +73,7 @@ struct SimConfig {
   /// Defaults model a noisy multi-tenant Cloud host; grid clusters
   /// override via GridWorkloadModel::apply_grid_sim_defaults.
   double machine_cpu_jitter = 0.20;
+  /// Machine-level lognormal jitter on the host's memory sample.
   double machine_mem_jitter = 0.05;
   /// Transient whole-machine CPU spikes (system daemons, log rotation,
   /// co-scheduled maintenance): with this per-sample probability the
@@ -63,10 +81,14 @@ struct SimConfig {
   /// clamped at capacity). These clamped spikes are what put the Fig 7a
   /// max-load mass exactly at the capacity line.
   double cpu_spike_probability = 0.004;
+  /// Multiplier applied to a spiking machine's CPU sample.
   double cpu_spike_factor = 2.0;
-  /// Mean delay before a failed task is resubmitted (exponential).
+  /// Mean delay before a failed task is resubmitted (exponential,
+  /// truncated below at 1 s).
   util::TimeSec resubmit_delay_mean = 2 * util::kSecondsPerMinute;
-  /// Evicted tasks always return to the pending queue after this delay.
+  /// Evicted tasks always return to the pending queue after exactly
+  /// this delay (the Borg-style "re-admit shortly after preemption"
+  /// path; no randomness — eviction churn stays deterministic).
   util::TimeSec evict_requeue_delay = 180;
   /// Isolation eviction: when a mid/high-priority task is placed on a
   /// machine running strictly-lower-priority work, it evicts the lowest-
@@ -80,9 +102,27 @@ struct SimConfig {
   /// size, so a long failure streak means the cluster is full; the cap
   /// keeps a deep backlog from making every pass O(pending * machines).
   std::size_t max_schedule_failures_per_pass = 48;
+  /// Placement probe budget per task. 0 = auto: clusters up to 512
+  /// machines are scanned exhaustively (the seed behaviour, kept for
+  /// small ablation runs); larger clusters are probed at ~96 hashed
+  /// candidates (power-of-d-choices) so placement is O(probes), not
+  /// O(machines). Any other value forces that many probes; a value >=
+  /// the machine count forces a full scan. Probe sequences are
+  /// counter-hashed from (seed, task, schedule-pass number), so they
+  /// are deterministic at any CGC_THREADS.
+  std::size_t placement_probe_limit = 0;
   /// Record the full task-event stream (disable to save memory on very
-  /// large runs; host-load series are always recorded).
+  /// large runs). With the counter-based RNG, toggling any record_*
+  /// knob never changes the simulated dynamics — only what is kept.
   bool record_events = true;
+  /// Record per-machine HostLoadSeries. Disabling also skips the
+  /// sampling computation entirely (sampling is observation-only).
+  bool record_host_load = true;
+  /// Materialize per-task and per-job records into the TraceSet.
+  bool record_tasks = true;
+  /// Root seed for every stochastic decision. All randomness is
+  /// counter-based (sim/sim_rng.hpp): draws are pure functions of
+  /// (seed, site, stable keys), never of execution order.
   std::uint64_t seed = 42;
 };
 

@@ -1,0 +1,108 @@
+#include "sim/event_queue.hpp"
+
+#include <bit>
+
+namespace cgc::sim {
+
+CalendarQueue::CalendarQueue(trace::TimeSec origin, trace::TimeSec span_hint)
+    : origin_(origin), floor_(origin - 1) {
+  CGC_CHECK_MSG(span_hint >= 0, "calendar queue span must be non-negative");
+  far_.resize(static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(span_hint) >> kWindowBits) + 2));
+}
+
+void CalendarQueue::push(trace::TimeSec time, EvKind kind, std::uint32_t task,
+                         std::uint32_t generation) {
+  CGC_CHECK_MSG(time > floor_,
+                "calendar queue pushes must move strictly forward in time");
+  CGC_CHECK_MSG(generation < (std::uint32_t{1} << 31),
+                "generation counter overflow");
+  const QueuedEvent ev{
+      task, (generation << 1) | static_cast<std::uint32_t>(kind)};
+  const std::uint64_t w = window_of(time);
+  CGC_CHECK(w >= cur_window_);
+  if (w == cur_window_) {
+    const std::size_t slot = slot_of(time);
+    l0_[slot].push_back(ev);
+    set_bit(slot);
+  } else {
+    if (w >= far_.size()) {
+      far_.resize(static_cast<std::size_t>(w) + 64);
+    }
+    far_[static_cast<std::size_t>(w)].push_back(FarEvent{time, ev});
+  }
+  ++size_;
+}
+
+std::size_t CalendarQueue::scan_bitmap(std::size_t from) const {
+  if (from >= kL0Size) {
+    return kL0Size;
+  }
+  std::size_t word = from >> 6;
+  std::uint64_t bits = bitmap_[word] & (~std::uint64_t{0} << (from & 63));
+  while (bits == 0) {
+    if (++word >= kL0Size / 64) {
+      return kL0Size;
+    }
+    bits = bitmap_[word];
+  }
+  return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+}
+
+trace::TimeSec CalendarQueue::next_time(trace::TimeSec bound) {
+  if (size_ == 0) {
+    return kNoEvent;
+  }
+  for (;;) {
+    const std::size_t slot = scan_bitmap(scan_from_);
+    if (slot < kL0Size) {
+      return origin_ +
+             static_cast<trace::TimeSec>((cur_window_ << kWindowBits) + slot);
+    }
+    // Current window drained: advance to the next window holding events
+    // and scatter its far bucket into L0 (order-preserving, so bucket
+    // order stays seq order — no direct push into this window can have
+    // happened yet).
+    std::uint64_t w = cur_window_ + 1;
+    while (w < far_.size() && far_[static_cast<std::size_t>(w)].empty()) {
+      ++w;
+    }
+    CGC_CHECK_MSG(w < far_.size(), "calendar queue accounting is corrupt");
+    if (bound != kNoEvent) {
+      const trace::TimeSec window_start =
+          origin_ + static_cast<trace::TimeSec>(w << kWindowBits);
+      if (window_start > bound) {
+        return kNoEvent;  // earliest event is past the bound; stay put
+      }
+    }
+    cur_window_ = w;
+    scan_from_ = 0;
+    std::vector<FarEvent>& bucket = far_[static_cast<std::size_t>(w)];
+    for (const FarEvent& fe : bucket) {
+      const std::size_t s = slot_of(fe.time);
+      l0_[s].push_back(fe.ev);
+      set_bit(s);
+    }
+    bucket.clear();
+    bucket.shrink_to_fit();  // the window never refills; release the arena
+  }
+}
+
+const std::vector<QueuedEvent>& CalendarQueue::bucket(
+    trace::TimeSec time) const {
+  CGC_CHECK(window_of(time) == cur_window_);
+  return l0_[slot_of(time)];
+}
+
+void CalendarQueue::finish_bucket(trace::TimeSec time) {
+  CGC_CHECK(window_of(time) == cur_window_);
+  const std::size_t slot = slot_of(time);
+  CGC_CHECK(size_ >= l0_[slot].size());
+  size_ -= l0_[slot].size();
+  l0_[slot].clear();
+  clear_bit(slot);
+  scan_from_ = slot + 1;
+  floor_ = time;
+}
+
+}  // namespace cgc::sim

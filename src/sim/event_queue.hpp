@@ -1,0 +1,157 @@
+// CalendarQueue — the simulator's indexed calendar (bucket) event queue.
+//
+// The seed simulator kept every future event in one std::priority_queue:
+// O(log n) comparisons per push/pop over a heap of tens of millions of
+// entries, with the (time, seq) tie-break stored and compared on every
+// sift. This queue exploits what a discrete-event cluster simulation
+// actually looks like: integer-second timestamps, a bounded horizon, and
+// handlers that only ever push *forward* in time. Under those conditions
+// an event can be dropped into the bucket for its second in O(1) and the
+// global (time, seq) drain order falls out of bucket order for free — no
+// comparisons, no per-event heap node, no stored sequence numbers.
+//
+// Structure (two radix levels):
+//   * L0 — kL0Size one-second buckets covering the current 2^kWindowBits
+//     second window, plus a bitmap (one bit per bucket) so the next
+//     occupied second is found with word scans, not bucket probes.
+//   * far — one overflow bucket per *future* window (vector indexed by
+//     window number, grown on demand). Events land here with their full
+//     timestamp and are scattered into L0 when the window advances.
+//
+// Ordering invariant (the "ties drain in seq order" property tested in
+// sim_determinism_test.cpp): every bucket is always in push order, and
+// push order equals seq order, because
+//   (a) handlers only push events strictly after the second being
+//       drained (enforced: push() checks time > the last finished
+//       bucket), so a drained bucket never receives new entries, and
+//   (b) a far bucket is scattered into L0 *before* any direct L0 push
+//       into that window can happen (direct pushes target the current
+//       window only), and the scatter preserves push order.
+// Hence concatenating buckets in time order replays exactly the
+// (time, seq) order the seed heap produced — without ever sorting.
+//
+// The queue is a serial structure: it is only touched from the
+// simulator's serial event spine, never from inside a parallel region.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "trace/types.hpp"
+#include "util/check.hpp"
+
+namespace cgc::sim {
+
+/// Event kinds the simulator schedules. kSubmit covers initial arrivals
+/// (via the workload cursor, not this queue), evict requeues, and
+/// fail-fate resubmissions; kEnd is the end of a running attempt.
+enum class EvKind : std::uint8_t { kSubmit = 0, kEnd = 1 };
+
+/// One queued event: 8 bytes, no timestamp (the bucket is the
+/// timestamp) and no sequence number (the bucket position is the
+/// sequence). The generation is the attempt counter used to invalidate
+/// end events of evicted attempts (see DESIGN.md §13).
+struct QueuedEvent {
+  /// Task slot (index into the workload / task bank).
+  std::uint32_t task = 0;
+  /// Packed (generation << 1) | kind.
+  std::uint32_t genkind = 0;
+
+  /// Kind bit of the packed field.
+  EvKind kind() const { return static_cast<EvKind>(genkind & 1U); }
+  /// Attempt generation the event belongs to.
+  std::uint32_t generation() const { return genkind >> 1; }
+};
+
+/// Two-level calendar queue keyed on trace::TimeSec. See the file
+/// comment for the structure and the ordering invariant.
+class CalendarQueue {
+ public:
+  /// log2 of the L0 window width in seconds.
+  static constexpr int kWindowBits = 13;
+  /// One-second buckets per window (8192 s ≈ 2.3 h per window).
+  static constexpr std::size_t kL0Size = std::size_t{1} << kWindowBits;
+  /// Returned by next_time() when the queue is empty.
+  static constexpr trace::TimeSec kNoEvent =
+      std::numeric_limits<trace::TimeSec>::max();
+
+  /// `origin` is the earliest time any event may carry (submit times may
+  /// be negative: generated workloads start warmup_days before t=0);
+  /// `span_hint` pre-sizes the far level for [origin, origin + span_hint]
+  /// (it grows beyond the hint on demand).
+  CalendarQueue(trace::TimeSec origin, trace::TimeSec span_hint);
+
+  /// Queues (task, generation, kind) at `time`. Must be strictly after
+  /// the last finished bucket — the forward-push discipline that makes
+  /// bucket order equal seq order.
+  void push(trace::TimeSec time, EvKind kind, std::uint32_t task,
+            std::uint32_t generation);
+
+  /// True when no events remain.
+  bool empty() const { return size_ == 0; }
+  /// Number of queued events.
+  std::uint64_t size() const { return size_; }
+
+  /// Earliest event time, or kNoEvent when empty. Advances the window
+  /// (scattering far buckets into L0) as a side effect; amortized O(1)
+  /// per event plus bitmap word scans.
+  ///
+  /// The advance never moves past the window containing `bound`: if the
+  /// earliest event lies in a later window, the call returns kNoEvent —
+  /// meaning "no queued event at or before bound" — and the queue stays
+  /// where it is. The simulator passes the next workload-cursor submit
+  /// time as the bound, so a handler processing that submit can still
+  /// push into windows the queue has not passed (the forward-push
+  /// discipline stays intact). Pass kNoEvent for an unbounded scan.
+  trace::TimeSec next_time(trace::TimeSec bound = kNoEvent);
+
+  /// The bucket for `time`, which must be the value next_time() just
+  /// returned. Entries are in seq order. The reference stays valid while
+  /// handlers push (pushes target strictly later buckets).
+  const std::vector<QueuedEvent>& bucket(trace::TimeSec time) const;
+
+  /// Marks the bucket for `time` fully processed: clears it (capacity is
+  /// retained — the bucket arena is reused as the window wraps) and
+  /// forbids pushes at or before `time`.
+  void finish_bucket(trace::TimeSec time);
+
+ private:
+  /// Far-level entry: a queued event plus its full timestamp.
+  struct FarEvent {
+    trace::TimeSec time;
+    QueuedEvent ev;
+  };
+
+  std::uint64_t rel(trace::TimeSec time) const {
+    return static_cast<std::uint64_t>(time - origin_);
+  }
+  std::size_t slot_of(trace::TimeSec time) const {
+    return static_cast<std::size_t>(rel(time) & (kL0Size - 1));
+  }
+  std::uint64_t window_of(trace::TimeSec time) const {
+    return rel(time) >> kWindowBits;
+  }
+  void set_bit(std::size_t slot) {
+    bitmap_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  }
+  void clear_bit(std::size_t slot) {
+    bitmap_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  }
+  /// First occupied L0 slot >= `from`, or kL0Size when none.
+  std::size_t scan_bitmap(std::size_t from) const;
+
+  trace::TimeSec origin_;
+  /// Last finished time; pushes must be strictly later.
+  trace::TimeSec floor_;
+  std::uint64_t cur_window_ = 0;
+  /// Bitmap scan cursor within the current window.
+  std::size_t scan_from_ = 0;
+  std::uint64_t size_ = 0;
+  std::vector<QueuedEvent> l0_[kL0Size];
+  std::uint64_t bitmap_[kL0Size / 64] = {};
+  /// far_[w] holds events for window w > cur_window_, in push order.
+  std::vector<std::vector<FarEvent>> far_;
+};
+
+}  // namespace cgc::sim

@@ -16,10 +16,10 @@
 namespace cgc::sim {
 
 struct TaskSpec {
-  std::int64_t job_id = 0;
-  std::int32_t task_index = 0;
-  std::uint8_t priority = 1;
-  trace::TimeSec submit_time = 0;
+  std::int64_t job_id = 0;          ///< owning job (groups tasks for Formula 4)
+  std::int32_t task_index = 0;      ///< index within the job
+  std::uint8_t priority = 1;        ///< 1..12, higher preempts lower
+  trace::TimeSec submit_time = 0;   ///< when the task enters the pending queue
   /// Remaining work: the task FINISHes after this much accumulated run
   /// time (across resubmissions for fail/evict fates).
   trace::TimeSec duration = 1;
@@ -34,6 +34,8 @@ struct TaskSpec {
   /// Scripted fate: kFinish runs to completion; kFail/kKill/kLost die
   /// after `abnormal_after` seconds of runtime instead.
   trace::TaskEventType fate = trace::TaskEventType::kFinish;
+  /// Runtime (seconds) after which an abnormal fate fires; ignored for
+  /// kFinish fates.
   trace::TimeSec abnormal_after = 0;
   /// Machine attributes this task requires (placement constraint; the
   /// scheduler only considers machines satisfying all bits).

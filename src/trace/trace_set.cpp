@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/check.hpp"
 
@@ -207,6 +208,89 @@ std::vector<double> TraceSet::task_run_durations() const {
     }
   }
   return out;
+}
+
+namespace {
+
+/// FNV-1a over 64-bit words; every field is widened to a word first so
+/// the digest depends only on logical content, never on struct padding.
+struct Digest {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+
+  void word(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ULL;
+    }
+  }
+  void i64(std::int64_t v) { word(static_cast<std::uint64_t>(v)); }
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    word(bits);
+  }
+};
+
+}  // namespace
+
+std::uint64_t TraceSet::content_digest() const {
+  Digest d;
+  d.i64(static_cast<std::int64_t>(duration_));
+  for (const Machine& m : machines_) {
+    d.i64(m.machine_id);
+    d.f32(m.cpu_capacity);
+    d.f32(m.mem_capacity);
+    d.f32(m.page_cache_capacity);
+    d.word(m.attributes);
+  }
+  for (const TaskEvent& e : events_) {
+    d.i64(e.time);
+    d.i64(e.job_id);
+    d.i64(e.task_index);
+    d.i64(e.machine_id);
+    d.word(static_cast<std::uint64_t>(e.type));
+    d.word(e.priority);
+  }
+  for (const Task& t : tasks_) {
+    d.i64(t.job_id);
+    d.i64(t.task_index);
+    d.word(t.priority);
+    d.i64(t.submit_time);
+    d.i64(t.schedule_time);
+    d.i64(t.end_time);
+    d.word(static_cast<std::uint64_t>(t.end_event));
+    d.i64(t.machine_id);
+    d.i64(t.resubmits);
+    d.f32(t.cpu_request);
+    d.f32(t.mem_request);
+    d.f32(t.cpu_usage);
+    d.f32(t.mem_usage);
+  }
+  for (const Job& j : jobs_) {
+    d.i64(j.job_id);
+    d.word(j.priority);
+    d.i64(j.submit_time);
+    d.i64(j.end_time);
+    d.i64(j.num_tasks);
+    d.f32(j.cpu_parallelism);
+    d.f32(j.mem_usage);
+  }
+  for (const HostLoadSeries& s : host_load_) {
+    d.i64(s.machine_id());
+    d.i64(s.start());
+    d.i64(s.period());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      for (std::size_t b = 0; b < kNumBands; ++b) {
+        const auto band = static_cast<PriorityBand>(b);
+        d.f32(s.cpu(band, i));
+        d.f32(s.mem(band, i));
+      }
+      d.f32(s.mem_assigned(i));
+      d.f32(s.page_cache(i));
+      d.i64(s.running(i));
+      d.i64(s.pending(i));
+    }
+  }
+  return d.h;
 }
 
 std::vector<double> TraceSet::job_submit_times() const {

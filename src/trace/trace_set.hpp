@@ -86,6 +86,13 @@ class TraceSet {
 
   TraceSummary summary() const;
 
+  /// Order-sensitive FNV-1a digest over every record and sample in the
+  /// set (float/double fields hashed by bit pattern). Two TraceSets have
+  /// equal digests iff their contents are byte-identical — the equality
+  /// check behind the simulator's CGC_THREADS determinism contract
+  /// (tests/sim_determinism_test.cpp, bench_perf_sim).
+  std::uint64_t content_digest() const;
+
   // -- derived sample vectors (used by many analyzers) ----------------------
   /// Lengths (seconds) of completed jobs.
   std::vector<double> job_lengths() const;

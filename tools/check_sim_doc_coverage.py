@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Docs-coverage gate for the simulator's public headers.
+
+Every public member (field, method, enumerator, or nested type) declared
+in src/sim/*.hpp must carry a doc comment: either `//`/`///` line(s)
+immediately above the declaration, or a trailing `///<`. The simulator
+is the subsystem whose knobs analysts actually touch (SimConfig,
+SimStats, the queue/bank internals documented for DESIGN.md §13), so
+"every public member documented" is enforced by CI, not convention.
+
+Heuristic single-pass parser: tracks brace depth, struct/class access
+regions (nested aggregates inherit the enclosing visibility), and the
+comment state of the preceding line. Exits non-zero listing every
+undocumented member.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+DECL_SKIP = re.compile(
+    r"^\s*(public:|private:|protected:|using\s|friend\s|template\s*<"
+    r"|static_assert|#|\}|\{|$)"
+)
+AGGREGATE_OPEN = re.compile(r"^\s*(struct|class|enum(\s+class)?|union)\b")
+
+
+def strip_trailing_comment(code: str) -> str:
+    return re.sub(r"\s*//.*$", "", code)
+
+
+def check_file(path: Path) -> list:
+    lines = path.read_text().splitlines()
+    problems = []
+    # Stack of (kind, visible) per open brace scope. kind is "aggregate",
+    # "enum", or None (function body / initializer — contents are never
+    # member declarations). `visible` means: this scope's current access
+    # region AND every enclosing one is public.
+    scope = []
+    prev_was_comment = False
+    pending_decl = None  # first line of a multi-line declaration
+    pending_doc = False
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip()
+        stripped = line.strip()
+
+        if not stripped:
+            prev_was_comment = False
+            continue
+        if stripped.startswith("//"):
+            prev_was_comment = True
+            continue
+
+        code = strip_trailing_comment(stripped)
+        in_enum = bool(scope) and scope[-1][0] == "enum"
+        visible = bool(scope) and scope[-1][0] in ("aggregate", "enum") and \
+            scope[-1][1]
+        opens_aggregate = bool(AGGREGATE_OPEN.match(code)) and not \
+            code.endswith(";")
+
+        if code == "public:":
+            if scope:
+                enclosing = len(scope) < 2 or scope[-2][1]
+                scope[-1] = (scope[-1][0], enclosing)
+        elif code in ("private:", "protected:"):
+            if scope:
+                scope[-1] = (scope[-1][0], False)
+
+        member = visible and (
+            pending_decl is not None or not DECL_SKIP.match(code)
+        )
+        if member:
+            first_line = pending_decl if pending_decl is not None else lineno
+            complete = (
+                in_enum
+                or code.endswith((";", "{", "}"))
+                or opens_aggregate
+            )
+            if complete:
+                documented = "///<" in line or (
+                    pending_doc if pending_decl is not None
+                    else prev_was_comment
+                )
+                if not documented:
+                    problems.append(
+                        (first_line, lines[first_line - 1].strip())
+                    )
+                pending_decl = None
+            elif pending_decl is None:
+                pending_decl = lineno
+                pending_doc = prev_was_comment
+
+        # Brace tracking on the comment-stripped code.
+        for ch in code:
+            if ch == "{":
+                if opens_aggregate:
+                    kind = "enum" if code.startswith("enum") else "aggregate"
+                    default_public = not code.startswith("class")
+                    # Aggregates at namespace/file scope are visible;
+                    # nested ones only inside a public region of a
+                    # visible parent.
+                    parent_visible = not scope or (
+                        scope[-1][0] in ("aggregate", "enum", "namespace")
+                        and scope[-1][1]
+                    )
+                    scope.append((kind, default_public and parent_visible))
+                    opens_aggregate = False
+                elif code.startswith("namespace"):
+                    scope.append(("namespace", True))
+                else:
+                    scope.append((None, False))
+            elif ch == "}":
+                if scope:
+                    scope.pop()
+
+        prev_was_comment = False
+
+    return problems
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else "src/sim")
+    headers = sorted(root.glob("*.hpp"))
+    if not headers:
+        print(f"error: no headers found under {root}", file=sys.stderr)
+        return 2
+    failed = False
+    for header in headers:
+        for lineno, decl in check_file(header):
+            print(f"{header}:{lineno}: undocumented public member: {decl}")
+            failed = True
+    if failed:
+        print(
+            "\nEvery public member in src/sim/*.hpp needs a doc comment "
+            "(`//` above the declaration or trailing `///<`).",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"doc coverage ok: {len(headers)} header(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
