@@ -1,4 +1,5 @@
-// cgc_report: the whole reproduction sweep in one process.
+// cgc_report: the whole reproduction sweep in one process — or
+// sharded across many.
 //
 // Runs every registered bench case (all paper figures/tables plus the
 // ablations and extensions) sequentially over the shared in-memory
@@ -13,13 +14,29 @@
 // checkpoint), cases that throw cgc::util::TransientError are retried
 // with capped exponential backoff, a wall-clock watchdog bounds each
 // case, and `--resume` skips cases whose recorded .dat outputs still
-// hash-match, re-running only the unfinished ones.
+// hash-match, re-running only the unfinished ones — after quarantining
+// anything a killed worker left half-done (stale lease, staging litter,
+// .dat files the report never stamped).
+//
+// Scale-out (cgc::sweep): `--shard i/N` runs the deterministic subset
+// of cases shard i owns (stable hash of the case id — see
+// src/sweep/partition.hpp) while holding a worker lease and heartbeat
+// in the checkpoint dir; `--merge dir...` fuses shard dirs into the
+// single-process-identical artifact, verifying every recorded CRC;
+// `--spawn N` forks N shard workers, respawns the ones that crash or
+// hang (capped backoff, bounded budget), then merges, degrading
+// exhausted shards to failed cases instead of sinking the sweep.
 //
 // Usage:
-//   cgc_report                 run everything
-//   cgc_report --list          list case ids and exit
-//   cgc_report --only id[,id]  run a subset (comma-separated ids)
-//   cgc_report --resume        skip cases already satisfied on disk
+//   cgc_report                  run everything
+//   cgc_report --list           list case ids and exit
+//   cgc_report --only id[,id]   run a subset (comma-separated ids)
+//   cgc_report --resume         skip cases already satisfied on disk
+//   cgc_report --shard i/N      run only the cases shard i of N owns
+//   cgc_report --merge DIR...   fuse shard dirs into $CGC_BENCH_OUT
+//   cgc_report --partial        (with --merge) degrade unfinished
+//                               shards to failed cases
+//   cgc_report --spawn N        supervise an N-shard sweep end to end
 // Environment: CGC_BENCH_FAST / CGC_BENCH_CACHE / CGC_BENCH_OUT /
 // CGC_THREADS as for the standalone benches (see bench/common.hpp),
 // plus:
@@ -27,23 +44,35 @@
 //   CGC_RETRY_BACKOFF_MS=N  first backoff, doubling, capped at 2000 (100)
 //   CGC_CASE_TIMEOUT=N      per-case wall-clock budget in seconds
 //                           (0 = no watchdog, the default)
-//   CGC_FAULT_SPEC=...      fault injection (src/fault/fault.hpp)
+//   CGC_SWEEP_RETRY=N       respawns per shard under --spawn (5)
+//   CGC_SWEEP_HEARTBEAT=N   seconds of heartbeat silence before a
+//                           worker is declared hung and killed (120)
+//   CGC_CACHE_WAIT=N        seconds to wait on another shard's cache
+//                           builder lock (600)
+//   CGC_FAULT_SPEC=...      fault injection (src/fault/fault.hpp);
+//                           sweep sites: sweep.worker_kill,
+//                           sweep.lease_steal, sweep.torn_merge_input
 //
 // Exit codes: 0 all cases ok and no data loss; 1 a case failed, timed
-// out, or a degraded load lost data (see report.json); 2 usage;
+// out, a degraded load lost data (see report.json), or a merge input
+// is merely unfinished (resumable); 2 usage — or, for --merge/--spawn,
+// a conflict between shards (overlap, digest disagreement: DataError);
 // 3 fatal environment error.
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -55,12 +84,17 @@
 #include "obs/obs.hpp"
 #include "obs/span.hpp"
 #include "registry.hpp"
-#include "report_io.hpp"
+#include "sweep/lease.hpp"
+#include "sweep/merge.hpp"
+#include "sweep/partition.hpp"
+#include "sweep/report_io.hpp"
+#include "sweep/supervisor.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 namespace {
@@ -99,9 +133,10 @@ std::uint64_t peak_rss_kb() {
 }
 
 using cgc::bench::BenchCase;
-using cgc::bench::CaseOutput;
-using cgc::bench::CaseRecord;
-using cgc::bench::SweepReport;
+using cgc::sweep::CaseOutput;
+using cgc::sweep::CaseRecord;
+using cgc::sweep::ShardSpec;
+using cgc::sweep::SweepReport;
 
 long env_long(const char* name, long fallback) {
   const char* value = std::getenv(name);
@@ -128,6 +163,41 @@ std::vector<std::string> split_ids(const std::string& csv) {
   return ids;
 }
 
+/// Respawn generation under a supervisor (0 for a first life / plain
+/// run). Kill-injection keys include it so a deterministic spec does
+/// not re-fire identically on every respawn and loop forever.
+std::uint64_t sweep_generation() {
+  return static_cast<std::uint64_t>(
+      std::max(0L, env_long("CGC_SWEEP_GENERATION", 0)));
+}
+
+/// Fault site `sweep.worker_kill`: die the way the supervisor must
+/// survive — SIGKILL, no cleanup, no flush. Keyed by (generation,
+/// case index, phase): phase 0 fires before the case body, phase 1 in
+/// the quarantine window after outputs are written but before the
+/// report stamp lands.
+void maybe_kill_worker(std::size_t case_index, int phase) {
+  if (!cgc::fault::armed()) {
+    return;
+  }
+  const std::uint64_t key = (sweep_generation() << 16) |
+                            (static_cast<std::uint64_t>(case_index) << 1) |
+                            static_cast<std::uint64_t>(phase);
+  if (cgc::fault::inject("sweep.worker_kill", key)) {
+    std::raise(SIGKILL);
+  }
+}
+
+/// The sweep's own bookkeeping files — never case outputs, never
+/// snapshot/diff material, never resume-quarantine candidates.
+bool is_sweep_bookkeeping(const std::string& rel) {
+  return rel == "report.json" || rel == "report.json.tmp" ||
+         rel == "worker.lease" || rel == "worker.log" ||
+         rel == "supervisor.json" ||
+         rel.rfind("quarantine/", 0) == 0 ||
+         rel.rfind("shards/", 0) == 0;
+}
+
 /// (size, mtime) per regular file under `dir`, keyed by path relative
 /// to `dir`. Diffing two snapshots attributes output files to a case.
 std::map<std::string, std::pair<std::uintmax_t, std::filesystem::file_time_type>>
@@ -139,8 +209,10 @@ dir_snapshot(const std::string& dir) {
   }
   for (const fs::directory_entry& e : fs::recursive_directory_iterator(dir)) {
     if (e.is_regular_file()) {
-      snap[fs::relative(e.path(), dir).string()] = {e.file_size(),
-                                                    e.last_write_time()};
+      const std::string rel = fs::relative(e.path(), dir).string();
+      if (!is_sweep_bookkeeping(rel)) {
+        snap[rel] = {e.file_size(), e.last_write_time()};
+      }
     }
   }
   return snap;
@@ -157,16 +229,13 @@ std::vector<CaseOutput> diff_outputs(
     const std::string& dir) {
   std::vector<CaseOutput> outputs;
   for (const auto& [file, stat] : after) {
-    if (file == "report.json" || file == "report.json.tmp") {
-      continue;  // the sweep's own checkpoint is not a case output
-    }
     const auto it = before.find(file);
     if (it != before.end() && it->second == stat) {
       continue;
     }
     CaseOutput o;
     o.file = file;
-    if (cgc::bench::file_crc32(dir + "/" + file, &o.crc, &o.size)) {
+    if (cgc::sweep::file_crc32(dir + "/" + file, &o.crc, &o.size)) {
       outputs.push_back(std::move(o));
     }
   }
@@ -179,7 +248,7 @@ bool outputs_match(const CaseRecord& record, const std::string& dir) {
   for (const CaseOutput& o : record.outputs) {
     std::uint32_t crc = 0;
     std::uint64_t size = 0;
-    if (!cgc::bench::file_crc32(dir + "/" + o.file, &crc, &size) ||
+    if (!cgc::sweep::file_crc32(dir + "/" + o.file, &crc, &size) ||
         crc != o.crc || size != o.size) {
       return false;
     }
@@ -187,11 +256,17 @@ bool outputs_match(const CaseRecord& record, const std::string& dir) {
   return true;
 }
 
+enum class BoundedResult { kFinished, kTimeout, kHeartbeatLost };
+
 /// Runs `fn` on a worker thread, waiting at most `timeout_sec` (0 = no
-/// limit). Returns false on timeout; the stuck thread is left detached
-/// — the caller must flush state and _Exit, because the thread cannot
-/// be killed safely and may be wedged inside the shared exec pool.
-bool run_bounded(const std::function<void()>& fn, long timeout_sec) {
+/// limit) and invoking `tick` roughly twice a second while waiting (the
+/// lease heartbeat). Returns kTimeout / kHeartbeatLost with the stuck
+/// thread left detached — the caller must flush state and _Exit,
+/// because the thread cannot be killed safely and may be wedged inside
+/// the shared exec pool. A `tick` returning false means the worker lost
+/// its lease and must stop touching the checkpoint dir.
+BoundedResult run_bounded(const std::function<void()>& fn, long timeout_sec,
+                          const std::function<bool()>& tick) {
   struct Shared {
     std::mutex m;
     std::condition_variable cv;
@@ -211,22 +286,36 @@ bool run_bounded(const std::function<void()>& fn, long timeout_sec) {
     }
     shared->cv.notify_all();
   });
-  if (timeout_sec > 0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(timeout_sec);
+  {
     std::unique_lock lock(shared->m);
-    const bool finished =
-        shared->cv.wait_for(lock, std::chrono::seconds(timeout_sec),
-                            [&shared] { return shared->finished; });
-    if (!finished) {
-      worker.detach();
-      return false;
+    while (!shared->finished) {
+      shared->cv.wait_for(lock, std::chrono::milliseconds(500),
+                          [&shared] { return shared->finished; });
+      if (shared->finished) {
+        break;
+      }
+      if (tick) {
+        lock.unlock();
+        const bool alive = tick();
+        lock.lock();
+        if (!alive) {
+          worker.detach();
+          return BoundedResult::kHeartbeatLost;
+        }
+      }
+      if (timeout_sec > 0 && std::chrono::steady_clock::now() >= deadline) {
+        worker.detach();
+        return BoundedResult::kTimeout;
+      }
     }
-    lock.unlock();
   }
   worker.join();
   if (shared->error) {
     std::rethrow_exception(shared->error);
   }
-  return true;
+  return BoundedResult::kFinished;
 }
 
 struct Sweep {
@@ -237,6 +326,8 @@ struct Sweep {
   long retry_max = 3;
   long backoff_ms = 100;
   long timeout_sec = 0;
+  std::optional<cgc::sweep::Lease> lease;  ///< held for the whole sweep
+  std::uint64_t heartbeat_progress = 0;
 
   void flush(bool complete, double total_seconds) {
     const cgc::bench::IoHealth health = cgc::bench::io_health();
@@ -246,11 +337,31 @@ struct Sweep {
     report.parse_lines_bad = health.parse_lines_bad;
     report.complete = complete;
     report.total_seconds = total_seconds;
-    cgc::bench::write_report(report, report_path);
+    cgc::sweep::write_report(report, report_path);
   }
 
-  /// Runs one case with retry + watchdog; appends its record and
-  /// checkpoints the report. _Exit(1)s on a watchdog trip.
+  /// Advances the lease heartbeat. False = lease lost; the worker must
+  /// stop writing and exit (a new worker may own the dir already).
+  bool beat() {
+    if (!lease.has_value()) {
+      return true;
+    }
+    return lease->refresh(++heartbeat_progress);
+  }
+
+  [[noreturn]] void die_checkpointed(const char* why) {
+    // The case thread (if any) is stuck and cannot be joined; running
+    // destructors under it would race. The checkpoint is on disk —
+    // leave via _Exit and let --resume/the supervisor pick up from
+    // here. _Exit skips atexit, so flush observability output first.
+    std::fprintf(stderr, "cgc_report: %s\n", why);
+    cgc::obs::export_now();
+    std::_Exit(cgc::util::kExitFailure);
+  }
+
+  /// Runs one case with retry + watchdog + heartbeat; appends its
+  /// record and checkpoints the report. _Exit(1)s on a watchdog trip
+  /// or a lost lease.
   void run_case(std::size_t index, const BenchCase* c, double elapsed) {
     CaseRecord r;
     r.id = c->id;
@@ -258,6 +369,10 @@ struct Sweep {
     r.kind = cgc::bench::kind_name(c->kind);
     r.title = c->title;
 
+    maybe_kill_worker(index, 0);
+    if (!beat()) {
+      die_checkpointed("worker lease lost; stopping before next case");
+    }
     const auto before = dir_snapshot(out_dir);
     const auto start = std::chrono::steady_clock::now();
     const double cpu_before = process_cpu_seconds();
@@ -265,7 +380,7 @@ struct Sweep {
     for (int attempt = 1; attempt <= retry_max; ++attempt) {
       r.attempts = attempt;
       try {
-        const bool finished = run_bounded(
+        const BoundedResult bounded = run_bounded(
             [this, index, c, attempt] {
               if (cgc::fault::armed()) {
                 // Keyed by (case, attempt) so every=/once= triggers can
@@ -284,8 +399,12 @@ struct Sweep {
               cgc::obs::Span span("case:" + c->id);
               c->fn();
             },
-            timeout_sec);
-        if (!finished) {
+            timeout_sec, [this] { return beat(); });
+        if (bounded == BoundedResult::kHeartbeatLost) {
+          flush(false, elapsed);
+          die_checkpointed("worker lease lost mid-case; stopping");
+        }
+        if (bounded == BoundedResult::kTimeout) {
           r.seconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();
@@ -295,12 +414,7 @@ struct Sweep {
           std::fprintf(stderr, "%s: %s\n", c->id.c_str(), r.error.c_str());
           report.cases.push_back(std::move(r));
           flush(false, elapsed + r.seconds);
-          // The case thread is stuck and cannot be joined; running
-          // destructors under it would race. The checkpoint is on
-          // disk — leave via _Exit and let --resume pick up from here.
-          // _Exit skips atexit, so flush observability output first.
-          cgc::obs::export_now();
-          std::_Exit(cgc::util::kExitFailure);
+          die_checkpointed("case watchdog tripped");
         }
         r.ok = true;
         break;
@@ -332,16 +446,159 @@ struct Sweep {
       r.error.clear();
       r.outputs = diff_outputs(before, dir_snapshot(out_dir), out_dir);
     }
+    // The quarantine window: outputs are on disk, the report stamp is
+    // not. A kill here is exactly what --resume's stale-checkpoint
+    // quarantine exists for.
+    maybe_kill_worker(index, 1);
     report.cases.push_back(std::move(r));
     flush(false, elapsed + r.seconds);
   }
 };
 
+/// The full case universe in sweep order, as merge metadata.
+std::vector<cgc::sweep::CaseMeta> case_universe(
+    const std::vector<const BenchCase*>& cases) {
+  std::vector<cgc::sweep::CaseMeta> expected;
+  expected.reserve(cases.size());
+  for (const BenchCase* c : cases) {
+    expected.push_back(
+        {c->id, c->binary, cgc::bench::kind_name(c->kind), c->title});
+  }
+  return expected;
+}
+
+int run_merge(const std::vector<std::string>& dirs, bool partial,
+              const std::vector<const BenchCase*>& cases) {
+  try {
+    cgc::sweep::MergeOptions options;
+    options.expected = case_universe(cases);
+    options.out_dir = cgc::bench::out_dir();
+    options.allow_partial = partial;
+    const cgc::sweep::MergeResult result =
+        cgc::sweep::merge_shards(dirs, options);
+    std::printf("merged %zu shard dir(s) into %s\n", dirs.size(),
+                options.out_dir.c_str());
+    std::printf("  cases: %zu ok, %zu failed, %zu missing; %zu files\n",
+                result.cases_ok, result.cases_failed, result.cases_missing,
+                result.files_copied);
+    for (const std::string& note : result.notes) {
+      std::printf("  note: %s\n", note.c_str());
+    }
+    const bool clean = result.cases_failed == 0 &&
+                       result.cases_missing == 0 &&
+                       !result.report.degraded();
+    return clean ? cgc::util::kExitOk : cgc::util::kExitFailure;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "merge error: %s\n", e.what());
+    return cgc::error::merge_exit_code(e);
+  }
+}
+
+/// Path of this executable, for respawning shard workers.
+std::string self_exe(const char* argv0) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+#endif
+  return argv0;
+}
+
+int run_spawn(int num_shards, const std::string& only_csv,
+              const char* argv0,
+              const std::vector<const BenchCase*>& cases) {
+  try {
+    cgc::sweep::SupervisorConfig config;
+    config.exe = self_exe(argv0);
+    config.num_shards = num_shards;
+    config.out_root = cgc::bench::out_dir();
+    config.retry_budget =
+        static_cast<int>(std::max(0L, env_long("CGC_SWEEP_RETRY", 5)));
+    config.heartbeat_timeout_sec = static_cast<double>(
+        std::max(0L, env_long("CGC_SWEEP_HEARTBEAT", 120)));
+    config.make_args = [num_shards, only_csv](int index) {
+      std::vector<std::string> args = {
+          "--shard", std::to_string(index) + "/" +
+                         std::to_string(num_shards),
+          "--resume"};
+      if (!only_csv.empty()) {
+        args.push_back("--only");
+        args.push_back(only_csv);
+      }
+      return args;
+    };
+    std::printf("cgc_report: supervising %d shard worker(s) under %s\n",
+                num_shards, config.out_root.c_str());
+    const cgc::sweep::SupervisorResult sup =
+        cgc::sweep::run_supervisor(config);
+    // Side file for CI/operators: respawn counts prove the kill matrix
+    // actually killed something. Not part of the merged artifact.
+    {
+      std::ofstream side(config.out_root + "/supervisor.json",
+                         std::ios::trunc);
+      side << "{\"shards\": " << sup.shards.size()
+           << ", \"respawns\": " << sup.respawns << ", \"workers\": [";
+      for (std::size_t i = 0; i < sup.shards.size(); ++i) {
+        const cgc::sweep::ShardStatus& s = sup.shards[i];
+        side << (i == 0 ? "" : ", ") << "{\"index\": " << s.index
+             << ", \"spawns\": " << s.spawns << ", \"kills\": " << s.kills
+             << ", \"last_exit\": " << s.last_exit << ", \"complete\": "
+             << (s.outcome == cgc::sweep::ShardOutcome::kComplete ? "true"
+                                                                  : "false")
+             << "}";
+      }
+      side << "]}\n";
+    }
+    std::vector<std::string> dirs;
+    for (const cgc::sweep::ShardStatus& s : sup.shards) {
+      dirs.push_back(s.dir);
+      std::printf("  shard %d: %s after %d spawn(s)%s\n", s.index,
+                  s.outcome == cgc::sweep::ShardOutcome::kComplete
+                      ? "complete"
+                      : "EXHAUSTED",
+                  s.spawns,
+                  s.kills > 0 ? " (incl. hang kills)" : "");
+    }
+    if (sup.respawns > 0) {
+      std::printf("  %d respawn(s) total\n", sup.respawns);
+    }
+    // Exhausted shards degrade at merge (allow_partial) instead of
+    // failing the whole sweep — their cases become failed records.
+    const int merge_exit = run_merge(dirs, /*partial=*/true, cases);
+    if (merge_exit != cgc::util::kExitOk) {
+      return merge_exit;
+    }
+    return sup.all_complete() ? cgc::util::kExitOk
+                              : cgc::util::kExitFailure;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spawn error: %s\n", e.what());
+    return cgc::error::merge_exit_code(e);
+  }
+}
+
 int run(int argc, char** argv) {
   std::vector<const BenchCase*> cases = cgc::bench::sorted_cases();
 
   std::vector<std::string> only;
+  std::string only_csv;
   bool resume = false;
+  bool merge_mode = false;
+  bool partial = false;
+  int spawn_shards = 0;
+  std::optional<ShardSpec> shard;
+  std::vector<std::string> merge_dirs;
+  const auto usage = [&argv] {
+    std::fprintf(stderr,
+                 "usage: %s [--list] [--only id[,id...]] [--all] "
+                 "[--resume] [--shard i/N]\n"
+                 "       %s --merge DIR... [--partial]\n"
+                 "       %s --spawn N [--only id[,id...]]\n",
+                 argv[0], argv[0], argv[0]);
+    return cgc::util::kExitUsage;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -352,20 +609,43 @@ int run(int argc, char** argv) {
       return cgc::util::kExitOk;
     }
     if (arg == "--only" && i + 1 < argc) {
-      only = split_ids(argv[++i]);
+      only_csv = argv[++i];
+      only = split_ids(only_csv);
     } else if (arg.rfind("--only=", 0) == 0) {
-      only = split_ids(arg.substr(7));
+      only_csv = arg.substr(7);
+      only = split_ids(only_csv);
     } else if (arg == "--all") {
       only.clear();
+      only_csv.clear();
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--shard" && i + 1 < argc) {
+      shard = cgc::sweep::parse_shard_spec(argv[++i]);
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      shard = cgc::sweep::parse_shard_spec(arg.substr(8));
+    } else if (arg == "--merge") {
+      merge_mode = true;
+    } else if (arg == "--partial") {
+      partial = true;
+    } else if (arg == "--spawn" && i + 1 < argc) {
+      spawn_shards = std::atoi(argv[++i]);
+    } else if (arg.rfind("--spawn=", 0) == 0) {
+      spawn_shards = std::atoi(arg.substr(8).c_str());
+    } else if (merge_mode && arg.rfind("--", 0) != 0) {
+      merge_dirs.push_back(arg);
     } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--list] [--only id[,id...]] [--all] [--resume]\n",
-          argv[0]);
-      return cgc::util::kExitUsage;
+      return usage();
     }
+  }
+  if ((merge_mode && (shard.has_value() || spawn_shards > 0)) ||
+      (shard.has_value() && spawn_shards > 0)) {
+    std::fprintf(stderr,
+                 "--merge, --shard, and --spawn are mutually exclusive\n");
+    return usage();
+  }
+  if (partial && !merge_mode) {
+    std::fprintf(stderr, "--partial only applies to --merge\n");
+    return usage();
   }
   if (!only.empty()) {
     std::erase_if(cases, [&only](const BenchCase* c) {
@@ -375,6 +655,25 @@ int run(int argc, char** argv) {
       std::fprintf(stderr, "no cases matched --only filter\n");
       return cgc::util::kExitUsage;
     }
+  }
+  if (merge_mode) {
+    if (merge_dirs.empty()) {
+      std::fprintf(stderr, "--merge needs at least one shard dir\n");
+      return usage();
+    }
+    return run_merge(merge_dirs, partial, cases);
+  }
+  if (spawn_shards > 0) {
+    return run_spawn(spawn_shards, only_csv, argv[0], cases);
+  }
+
+  // The sweep universe this process owns. A shard may legitimately own
+  // zero cases (small sweeps, large N) — it still writes a complete
+  // empty report so the merge knows the shard ran.
+  if (shard.has_value() && shard->sharded()) {
+    std::erase_if(cases, [&shard](const BenchCase* c) {
+      return !cgc::sweep::owns(*shard, c->id);
+    });
   }
 
   Sweep sweep;
@@ -387,34 +686,77 @@ int run(int argc, char** argv) {
   sweep.report.fast_mode = cgc::bench::fast_mode();
   sweep.report.threads = cgc::exec::num_workers();
   sweep.report.fault_spec = cgc::fault::active_spec();
+  if (shard.has_value()) {
+    sweep.report.shard_index = shard->index;
+    sweep.report.shard_total = shard->total;
+  }
+
+  // The worker lease: held for the whole sweep, heartbeat-refreshed
+  // between and during cases. A second worker pointed at the same dir
+  // fails fast instead of corrupting the checkpoint.
+  sweep.lease =
+      cgc::sweep::Lease::try_acquire(sweep.out_dir + "/worker.lease");
+  if (!sweep.lease.has_value()) {
+    throw cgc::util::FatalError(
+        "another sweep holds " + sweep.out_dir +
+        "/worker.lease — two workers must not share a checkpoint dir");
+  }
 
   // --resume: any case in the previous report that succeeded and whose
   // recorded outputs still hash-match carries over; everything else
-  // re-runs.
+  // re-runs — after quarantining whatever a killed worker left behind
+  // (stale lease, staging litter, .dat files the report never stamped).
   std::map<std::string, CaseRecord> previous;
   if (resume) {
     SweepReport prior;
-    switch (cgc::bench::read_report_checked(sweep.report_path, &prior)) {
-      case cgc::bench::ReportReadStatus::kOk:
-        for (CaseRecord& r : prior.cases) {
-          if (r.ok && outputs_match(r, sweep.out_dir)) {
-            previous.emplace(r.id, std::move(r));
+    std::vector<std::string> recorded;
+    switch (cgc::sweep::read_report_checked(sweep.report_path, &prior)) {
+      case cgc::sweep::ReportReadStatus::kOk:
+        if (prior.shard_total != sweep.report.shard_total ||
+            prior.shard_index != sweep.report.shard_index) {
+          throw cgc::util::DataError(
+              "resume: " + sweep.report_path + " was written by shard " +
+              std::to_string(prior.shard_index) + "/" +
+              std::to_string(prior.shard_total) +
+              ", not this worker's partition — wrong checkpoint dir?");
+        }
+        for (const CaseRecord& r : prior.cases) {
+          for (const CaseOutput& o : r.outputs) {
+            recorded.push_back(o.file);
           }
         }
-        std::printf("resume: %zu of %zu cases already satisfied\n",
-                    previous.size(), cases.size());
         break;
-      case cgc::bench::ReportReadStatus::kMissing:
+      case cgc::sweep::ReportReadStatus::kMissing:
         std::printf("resume: no %s; running everything\n",
                     sweep.report_path.c_str());
         break;
-      case cgc::bench::ReportReadStatus::kCorrupt:
+      case cgc::sweep::ReportReadStatus::kCorrupt:
         // Silently re-running everything would hide that a previous
         // sweep died mid-write; make the operator decide.
         throw cgc::util::DataError(
             sweep.report_path +
             " exists but is truncated or unparseable (crashed "
             "mid-write?); delete it to start fresh");
+    }
+    const cgc::sweep::QuarantineReport quarantined =
+        cgc::sweep::quarantine_stale(sweep.out_dir, recorded);
+    if (!quarantined.moved.empty()) {
+      std::printf(
+          "resume: quarantined %zu stale file(s) from a killed worker "
+          "(%s/quarantine)\n",
+          quarantined.moved.size(), sweep.out_dir.c_str());
+      for (const std::string& f : quarantined.moved) {
+        std::printf("  quarantined: %s\n", f.c_str());
+      }
+    }
+    for (CaseRecord& r : prior.cases) {
+      if (r.ok && outputs_match(r, sweep.out_dir)) {
+        previous.emplace(r.id, std::move(r));
+      }
+    }
+    if (!prior.cases.empty()) {
+      std::printf("resume: %zu of %zu cases already satisfied\n",
+                  previous.size(), cases.size());
     }
   }
 
@@ -434,9 +776,11 @@ int run(int argc, char** argv) {
                                               : cgc::util::kExitOk;
   }
 
-  std::printf("cgc_report: %zu cases, %zu worker threads, %s scale%s\n",
+  std::printf("cgc_report: %zu cases, %zu worker threads, %s scale%s%s\n",
               cases.size(), cgc::exec::num_workers(),
               cgc::bench::fast_mode() ? "fast" : "full",
+              shard.has_value() ? (" [shard " + shard->str() + "]").c_str()
+                                : "",
               sweep.report.fault_spec.empty()
                   ? ""
                   : (" [faults: " + sweep.report.fault_spec + "]").c_str());

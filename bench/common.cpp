@@ -9,7 +9,7 @@
 #include <mutex>
 
 #include "core/characterization.hpp"
-#include "store/writer.hpp"
+#include "sweep/cache.hpp"
 #include "trace/google_format.hpp"
 #include "trace/loader.hpp"
 #include "util/check.hpp"
@@ -27,46 +27,44 @@ std::string env_or(const char* name, const std::string& fallback) {
 
 std::string cache_dir() { return env_or("CGC_BENCH_CACHE", "bench_cache"); }
 
-/// Loads a cached host-load trace or simulates and caches it.
+/// Loads a trace through the shared, lease-guarded CGCS cache
+/// (src/sweep/cache.hpp), building it at most once across *processes*:
+/// concurrent shard workers either load the published entry or wait on
+/// the single builder's lock — never a torn write, never a duplicate
+/// generation. Entries are keyed by `key` plus a hash of the
+/// generator's canonical config string, so a config change is a new
+/// entry rather than a silently stale hit.
 ///
-/// Cache tiers, fastest first: a columnar `.cgcs` file (mmap, parse
-/// once ever), the clusterdata CSV directory (kept as an IO-path
-/// exercise and for external tooling; loading it upgrades the cache by
-/// writing the .cgcs alongside), then a fresh simulation (cached in
-/// both forms).
-///
-/// Both load tiers run in degraded/tolerant mode: chunk-level store
-/// damage and malformed CSV records are quarantined, accounted via
-/// note_damage()/note_parse(), and the surviving rows are used — the
-/// sweep completes and the loss surfaces in report.json instead of an
-/// abort. Only structurally unreadable store files (header/footer) are
-/// discarded and rebuilt from the next tier.
-trace::TraceSet cached_or_simulate(
+/// Loads run in degraded mode: chunk-level store damage is
+/// quarantined, accounted via note_damage(), and the surviving rows
+/// are used — the sweep completes and the loss surfaces in report.json
+/// instead of an abort. Structurally unreadable entries are discarded
+/// and rebuilt.
+trace::TraceSet cached_trace(const std::string& key,
+                             const std::string& canonical_config,
+                             const std::function<trace::TraceSet()>& build) {
+  const std::string base = cache_dir() + "/" + key + "_" +
+                           sweep::config_hash_hex(canonical_config);
+  sweep::CacheResult result = sweep::load_or_build_cgcs(base, build);
+  if (!result.damage.clean()) {
+    CGC_LOG(kWarn) << "store cache " << base
+                   << ".cgcs is damaged; continuing degraded ("
+                   << result.damage.summary() << ")";
+    note_damage(result.damage);
+  }
+  return std::move(result.trace);
+}
+
+/// Host-load builder: prefers the clusterdata CSV directory when one
+/// exists (kept as an IO-path exercise and for external tooling),
+/// otherwise simulates and mirrors the CSV form — atomically, via a
+/// staging directory, since a killed worker must never leave a
+/// half-written CSV dir for the next tier to trust. Runs under the
+/// cache builder lock, so at most one process does any of this.
+trace::TraceSet build_hostload(
     const std::string& key,
     const std::function<trace::TraceSet()>& simulate) {
   const std::string dir = cache_dir() + "/" + key;
-  const std::string cgcs = dir + ".cgcs";
-  if (std::filesystem::exists(cgcs)) {
-    CGC_LOG(kInfo) << "loading cached host-load trace from " << cgcs;
-    try {
-      trace::LoadOptions options;
-      options.format = trace::TraceFormat::kCgcs;
-      options.on_damage = trace::OnDamage::kQuarantine;
-      trace::LoadReport report;
-      trace::TraceSet trace = trace::load_trace(cgcs, options, &report);
-      if (!report.damage.clean()) {
-        CGC_LOG(kWarn) << "store cache " << cgcs
-                       << " is damaged; continuing degraded ("
-                       << report.damage.summary() << ")";
-        note_damage(report.damage);
-      }
-      return trace;
-    } catch (const util::Error& e) {
-      CGC_LOG(kWarn) << "discarding unreadable store cache " << cgcs << ": "
-                     << e.what();
-      std::filesystem::remove(cgcs);
-    }
-  }
   if (std::filesystem::exists(dir + "/task_events.csv")) {
     CGC_LOG(kInfo) << "loading cached host-load trace from " << dir;
     trace::LoadOptions options;
@@ -80,14 +78,19 @@ trace::TraceSet cached_or_simulate(
                      << report.parse.summary();
       note_parse(report.parse);
     }
-    store::write_cgcs(trace, cgcs);
     return trace;
   }
   trace::TraceSet trace = simulate();
   CGC_LOG(kInfo) << "caching host-load trace to " << dir;
-  std::filesystem::create_directories(cache_dir());
-  trace::write_google_trace(trace, dir);
-  store::write_cgcs(trace, cgcs);
+  const std::string staging = dir + ".tmp." + std::to_string(::getpid());
+  std::error_code ec;
+  std::filesystem::remove_all(staging, ec);  // stale litter from a kill
+  if (std::filesystem::exists(dir)) {
+    // A dir without task_events.csv is a torn write; replace it.
+    std::filesystem::remove_all(dir, ec);
+  }
+  trace::write_google_trace(trace, staging);
+  std::filesystem::rename(staging, dir);
   return trace;
 }
 
@@ -143,21 +146,34 @@ const trace::TraceSet& google_workload(double task_sampling_rate) {
   char key[64];
   std::snprintf(key, sizeof(key), "workload_google_%g_%s",
                 task_sampling_rate, scale_key().c_str());
-  return memoized(key, [task_sampling_rate] {
-    gen::GoogleModelConfig config;
-    config.task_sampling_rate = task_sampling_rate;
-    return gen::GoogleWorkloadModel(config).generate_workload(
-        workload_horizon());
+  char canonical[128];
+  std::snprintf(canonical, sizeof(canonical),
+                "google_workload v1 rate=%.17g horizon=%lld",
+                task_sampling_rate,
+                static_cast<long long>(workload_horizon()));
+  const std::string config = canonical;
+  return memoized(key, [task_sampling_rate, key, config] {
+    return cached_trace(key, config, [task_sampling_rate] {
+      gen::GoogleModelConfig model;
+      model.task_sampling_rate = task_sampling_rate;
+      return gen::GoogleWorkloadModel(model).generate_workload(
+          workload_horizon());
+    });
   });
 }
 
 const trace::TraceSet& grid_workload(const std::string& name) {
-  return memoized("workload_" + analysis::sanitize_name(name) + "_" +
-                      scale_key(),
-                  [&name] {
-                    return gen::GridWorkloadModel(preset_by_name(name))
-                        .generate_workload(workload_horizon());
-                  });
+  const std::string key =
+      "workload_" + analysis::sanitize_name(name) + "_" + scale_key();
+  const std::string config =
+      "grid_workload v1 system=" + name + " horizon=" +
+      std::to_string(workload_horizon());
+  return memoized(key, [key, config, &name] {
+    return cached_trace(key, config, [&name] {
+      return gen::GridWorkloadModel(preset_by_name(name))
+          .generate_workload(workload_horizon());
+    });
+  });
 }
 
 gen::GridSystemPreset preset_by_name(const std::string& name) {
@@ -172,22 +188,33 @@ gen::GridSystemPreset preset_by_name(const std::string& name) {
 
 const trace::TraceSet& google_hostload() {
   const std::string key = "google_" + scale_key();
-  return memoized("hostload_" + key, [&key] {
-    return cached_or_simulate(key, [] {
-      gen::GoogleModelConfig config;
-      sim::SimConfig sim_config;
-      return Characterization::simulate_google_hostload(
-          config, sim_config, google_machines(), hostload_horizon());
+  const std::string config =
+      "google_hostload v1 machines=" + std::to_string(google_machines()) +
+      " horizon=" + std::to_string(hostload_horizon());
+  return memoized("hostload_" + key, [&key, &config] {
+    return cached_trace("hostload_" + key, config, [&key] {
+      return build_hostload(key, [] {
+        gen::GoogleModelConfig model;
+        sim::SimConfig sim_config;
+        return Characterization::simulate_google_hostload(
+            model, sim_config, google_machines(), hostload_horizon());
+      });
     });
   });
 }
 
 const trace::TraceSet& grid_hostload(const std::string& name) {
   const std::string key = analysis::sanitize_name(name) + "_" + scale_key();
-  return memoized("hostload_" + key, [&key, &name] {
-    return cached_or_simulate(key, [&name] {
-      return Characterization::simulate_grid_hostload(
-          preset_by_name(name), grid_machines(), hostload_horizon());
+  const std::string config =
+      "grid_hostload v1 system=" + name +
+      " machines=" + std::to_string(grid_machines()) +
+      " horizon=" + std::to_string(hostload_horizon());
+  return memoized("hostload_" + key, [&key, &config, &name] {
+    return cached_trace("hostload_" + key, config, [&key, &name] {
+      return build_hostload(key, [&name] {
+        return Characterization::simulate_grid_hostload(
+            preset_by_name(name), grid_machines(), hostload_horizon());
+      });
     });
   });
 }

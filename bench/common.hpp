@@ -41,6 +41,14 @@ std::size_t grid_machines();        ///< 32 (fast: 12)
 /// Output directory for .dat series (created on demand).
 std::string out_dir();
 
+/// Trace accessors below are memoized in-process and cached on disk
+/// under CGC_BENCH_CACHE through the shared lease-guarded CGCS cache
+/// (src/sweep/cache.hpp): concurrent shard workers build each entry at
+/// most once fleet-wide and can never torn-write it, and every process
+/// observes the identical published bytes (the reload-after-publish
+/// contract that keeps sharded sweeps byte-identical to single-process
+/// ones).
+
 /// Google workload trace (Figs 2-6, Table I). Tasks are sampled at
 /// `task_sampling_rate` to bound memory at month scale; the job stream
 /// (and thus every job-level statistic: lengths, submission intervals,

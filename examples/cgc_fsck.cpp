@@ -7,9 +7,22 @@
 // file from the surviving rows, so a partially corrupted archive
 // becomes scannable again at the cost of the quarantined data.
 //
+// Two directory-level audits ride along:
+//
+//   --spill DIR  verifies a cgcd spill directory — every windows.jsonl
+//                manifest row parses, its window CGCS file verifies
+//                chunk-by-chunk, and the stored event count matches
+//                the manifest stamp;
+//   --cache DIR  audits a sweep's shared trace-memo cache — every
+//                .cgcs entry verifies, and staging litter or builder
+//                locks whose holder died (a crashed shard worker) are
+//                flagged.
+//
 // Usage:
 //   cgc_fsck <file.cgcs>                   verify only
 //   cgc_fsck --repair <in.cgcs> <out.cgcs> rewrite clean copy
+//   cgc_fsck --spill <dir>                 verify cgcd window spills
+//   cgc_fsck --cache <dir>                 audit shared trace cache
 //
 // Exit codes: 0 file clean (or repaired losslessly), 1 damage found
 // (verify) or data lost (repair), 2 usage error, 3 fatal environment
@@ -20,6 +33,8 @@
 
 #include "store/reader.hpp"
 #include "store/writer.hpp"
+#include "stream/daemon.hpp"
+#include "sweep/cache.hpp"
 #include "trace/loader.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
@@ -85,11 +100,46 @@ int repair(const std::string& in, const std::string& out) {
   return cgc::util::kExitFailure;
 }
 
+int verify_spill_dir(const std::string& dir) {
+  const stream::SpillAudit audit = stream::verify_spill(dir);
+  std::printf("%s: %llu windows, %llu clean\n", dir.c_str(),
+              static_cast<unsigned long long>(audit.windows),
+              static_cast<unsigned long long>(audit.windows_clean));
+  for (const stream::SpillIssue& issue : audit.issues) {
+    std::printf("  %s %s: %s\n", issue.fatal ? "BAD " : "warn",
+                issue.path.c_str(), issue.what.c_str());
+  }
+  if (audit.clean()) {
+    std::printf("clean: every window verifies against its manifest row\n");
+    return cgc::util::kExitOk;
+  }
+  return cgc::util::kExitFailure;
+}
+
+int verify_cache_dir(const std::string& dir) {
+  const sweep::CacheAudit audit = sweep::verify_cache(dir);
+  std::printf("%s: %zu entries (%zu clean), %zu stale locks, "
+              "%zu staging files orphaned\n",
+              dir.c_str(), audit.entries, audit.entries_clean,
+              audit.stale_locks, audit.tmp_litter);
+  for (const sweep::CacheIssue& issue : audit.issues) {
+    std::printf("  %s %s: %s\n", issue.fatal ? "BAD " : "warn",
+                issue.path.c_str(), issue.what.c_str());
+  }
+  if (audit.clean()) {
+    std::printf("clean: every entry verifies, no litter\n");
+    return cgc::util::kExitOk;
+  }
+  return cgc::util::kExitFailure;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  cgc_fsck <file.cgcs>\n"
-               "  cgc_fsck --repair <in.cgcs> <out.cgcs>\n");
+               "  cgc_fsck --repair <in.cgcs> <out.cgcs>\n"
+               "  cgc_fsck --spill <dir>\n"
+               "  cgc_fsck --cache <dir>\n");
   return cgc::util::kExitUsage;
 }
 
@@ -102,6 +152,12 @@ int main(int argc, char** argv) {
     }
     if (argc == 4 && std::string(argv[1]) == "--repair") {
       return repair(argv[2], argv[3]);
+    }
+    if (argc == 3 && std::string(argv[1]) == "--spill") {
+      return verify_spill_dir(argv[2]);
+    }
+    if (argc == 3 && std::string(argv[1]) == "--cache") {
+      return verify_cache_dir(argv[2]);
     }
     return usage();
   } catch (const cgc::util::Error& e) {

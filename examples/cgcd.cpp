@@ -34,6 +34,11 @@
 // CGC_TRACE (observability export), CGC_FAULT_SPEC (deterministic
 // fault injection; sites stream.drop / stream.dup).
 //
+// SIGTERM/SIGINT stop ingest at the next batch boundary: the open
+// window is closed and spilled through the normal flush path, the
+// summary carries "interrupted": true, and the exit stays clean — an
+// operator's shutdown never tears the spill directory.
+//
 // Exit codes: 0 clean; 1 degraded (any late/dropped/duplicated/
 // unparseable events — counted in the summary JSON, never a crash) or
 // data error; 2 usage; 3 fatal.
@@ -43,6 +48,7 @@
 #include <string>
 
 #include "stream/daemon.hpp"
+#include "stream/shutdown.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 
@@ -64,6 +70,7 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  cgc::stream::install_shutdown_handlers();
   cgc::stream::DaemonConfig config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -10,8 +10,10 @@
 
 #include "gen/google_model.hpp"
 #include "obs/obs.hpp"
+#include "store/reader.hpp"
 #include "store/writer.hpp"
 #include "stream/replay.hpp"
+#include "stream/shutdown.hpp"
 #include "trace/loader.hpp"
 #include "util/check.hpp"
 #include "util/time_util.hpp"
@@ -35,13 +37,15 @@ std::uint64_t fnv1a(const std::string& bytes) {
 }
 
 /// Replays a pre-sorted event vector in batches, pacing trace time at
-/// `rate` seconds per wall second when rate > 0.
+/// `rate` seconds per wall second when rate > 0. Stops at the next
+/// batch boundary once a shutdown has been requested.
 void replay_events(SlidingWindow* engine,
                    std::span<const trace::TaskEvent> events, double rate,
                    std::size_t batch_size) {
   const auto wall0 = std::chrono::steady_clock::now();
   const util::TimeSec t0 = events.empty() ? 0 : events.front().time;
-  for (std::size_t i = 0; i < events.size(); i += batch_size) {
+  for (std::size_t i = 0; i < events.size() && !shutdown_requested();
+       i += batch_size) {
     const std::span<const trace::TaskEvent> batch =
         events.subspan(i, std::min(batch_size, events.size() - i));
     if (rate > 0.0) {
@@ -115,6 +119,7 @@ int run_daemon(const DaemonConfig& config, std::istream& in,
       spill_jsonl << "{\"index\": " << ws.index << ", \"start\": " << ws.start
                   << ", \"end\": " << ws.end
                   << ", \"events\": " << ws.events.total()
+                  << ", \"raw_events\": " << events.size()
                   << ", \"state_fnv\": \"" << digest << "\", \"cgcs\": \""
                   << name << "\"}\n";
       ++windows_spilled;
@@ -170,6 +175,7 @@ int run_daemon(const DaemonConfig& config, std::istream& in,
   stats.wall_seconds = wall_s;
   stats.events_per_second =
       wall_s > 0.0 ? static_cast<double>(stats.events) / wall_s : 0.0;
+  stats.interrupted = shutdown_requested();
   stats.health = engine.health();
   stats.health.merge(io_health);
 
@@ -179,6 +185,7 @@ int run_daemon(const DaemonConfig& config, std::istream& in,
       << ", \"windows_spilled\": " << stats.windows_spilled
       << ", \"wall_s\": " << stats.wall_seconds
       << ", \"events_per_s\": " << stats.events_per_second
+      << ", \"interrupted\": " << (stats.interrupted ? "true" : "false")
       << ", \"health\": ";
   write_health_json(out, stats.health);
   out << "}";
@@ -210,6 +217,99 @@ int run_daemon(const DaemonConfig& config, std::istream& in,
     *stats_out = stats;
   }
   return stats.health.lossy() ? util::kExitFailure : util::kExitOk;
+}
+
+namespace {
+
+/// Minimal field extraction for the spill manifest's flat JSONL rows.
+bool manifest_u64(const std::string& line, const std::string& key,
+                  std::uint64_t* out) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::string::size_type pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  return std::sscanf(line.c_str() + pos + needle.size(), "%llu",
+                     reinterpret_cast<unsigned long long*>(out)) == 1;
+}
+
+bool manifest_string(const std::string& line, const std::string& key,
+                     std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::string::size_type pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  const std::string::size_type begin = pos + needle.size();
+  const std::string::size_type end = line.find('"', begin);
+  if (end == std::string::npos) {
+    return false;
+  }
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+}  // namespace
+
+SpillAudit verify_spill(const std::string& dir) {
+  const std::string manifest = dir + "/windows.jsonl";
+  std::ifstream in(manifest);
+  CGC_CHECK_MSG(in.is_open(), "no spill manifest at " + manifest);
+
+  SpillAudit audit;
+  std::string line;
+  std::uint64_t row = 0;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) {
+      continue;
+    }
+    ++audit.windows;
+    const std::size_t issues_before = audit.issues.size();
+
+    std::string name;
+    std::uint64_t expected_events = 0;
+    // raw_events is the authoritative per-window store row count;
+    // manifests from before it existed stamped the same value as
+    // "events" (the window's deduplicated total), so fall back.
+    const bool have_count =
+        manifest_u64(line, "raw_events", &expected_events) ||
+        manifest_u64(line, "events", &expected_events);
+    if (!manifest_string(line, "cgcs", &name) || !have_count) {
+      audit.issues.push_back({manifest,
+                              "malformed manifest row " + std::to_string(row),
+                              true});
+      continue;
+    }
+
+    const std::string path = dir + "/" + name;
+    try {
+      store::StoreReader reader(path, store::ReadMode::kDegraded);
+      for (const store::ChunkMeta& chunk : reader.chunks()) {
+        reader.chunk_ok(chunk);
+      }
+      const store::DamageReport damage = reader.damage();
+      if (!damage.clean()) {
+        audit.issues.push_back({path, damage.summary(), false});
+      }
+      if (reader.info().num_events != expected_events) {
+        audit.issues.push_back(
+            {path,
+             "event count mismatch: store has " +
+                 std::to_string(reader.info().num_events) +
+                 ", manifest records " + std::to_string(expected_events),
+             true});
+      }
+    } catch (const util::Error& e) {
+      audit.issues.push_back({path, std::string("unreadable: ") + e.what(),
+                              true});
+    }
+
+    if (audit.issues.size() == issues_before) {
+      ++audit.windows_clean;
+    }
+  }
+  return audit;
 }
 
 }  // namespace cgc::stream

@@ -16,6 +16,12 @@
 // duplicated, or unparseable events, whether injected by cgc::fault or
 // present in the input — is counted, reported in the summary JSON, and
 // turns the exit code to 1; it never crashes the daemon.
+//
+// SIGTERM/SIGINT (once install_shutdown_handlers() is in place) stop
+// ingest at the next batch boundary; the open window is closed and
+// spilled through the normal flush path, the summary carries
+// `"interrupted": true`, and the exit code stays 0 unless the stream
+// was lossy — an operator's shutdown is not an error.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +67,9 @@ struct DaemonStats {
   std::uint64_t windows_spilled = 0;
   double wall_seconds = 0.0;
   double events_per_second = 0.0;
+  /// Ingest stopped early on a shutdown request (SIGTERM/SIGINT); the
+  /// open window was still flushed and spilled.
+  bool interrupted = false;
   StreamHealth health;
 };
 
@@ -74,5 +83,40 @@ bool is_known_query(const std::string& metric);
 /// or unreadable input.
 int run_daemon(const DaemonConfig& config, std::istream& in,
                std::ostream& out, DaemonStats* stats = nullptr);
+
+/// One spill-audit finding from verify_spill.
+struct SpillIssue {
+  std::string path;
+  std::string what;
+  /// Fatal: the window is unusable (unreadable store, bad manifest
+  /// row, event-count mismatch). Non-fatal: degraded but recoverable
+  /// (quarantined chunks inside a still-readable store).
+  bool fatal = false;
+};
+
+/// Audit of a cgcd spill directory (windows.jsonl + window-*.cgcs).
+struct SpillAudit {
+  std::uint64_t windows = 0;
+  std::uint64_t windows_clean = 0;
+  std::vector<SpillIssue> issues;
+
+  bool clean() const { return issues.empty(); }
+  bool fatal() const {
+    for (const SpillIssue& issue : issues) {
+      if (issue.fatal) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Verifies a spill directory written by run_daemon: every manifest
+/// row parses, its CGCS file exists and round-trips chunk-by-chunk
+/// (degraded reads are reported, not fatal), and the stored event
+/// count matches the manifest's raw_events stamp. Used by
+/// `cgc_fsck --spill`. Throws util::Error only when `dir` has no
+/// manifest at all.
+SpillAudit verify_spill(const std::string& dir);
 
 }  // namespace cgc::stream

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "exec/parallel.hpp"
+#include "stream/shutdown.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -136,7 +137,7 @@ std::uint64_t read_event_stream(
   std::vector<trace::TaskEvent> batch;
   batch.reserve(batch_size);
   std::string line;
-  while (std::getline(in, line)) {
+  while (!shutdown_requested() && std::getline(in, line)) {
     if (line.empty() || line[0] == '#') {
       continue;
     }

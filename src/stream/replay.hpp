@@ -43,8 +43,10 @@ bool parse_google_event_line(std::string_view line, trace::TaskEvent* event);
 /// Streams Google-format task-event rows from `in` (typically a pipe),
 /// delivering batches of up to `batch_size` events to `sink`. Malformed
 /// rows are skipped and counted into health->parse_bad_lines (never
-/// fatal — the daemon's degraded-ingest contract). Returns the number
-/// of events delivered.
+/// fatal — the daemon's degraded-ingest contract). Stops early (after
+/// delivering the partial batch) once shutdown_requested() is up, so a
+/// SIGTERM'd daemon can spill the open window and exit. Returns the
+/// number of events delivered.
 std::uint64_t read_event_stream(
     std::istream& in, std::size_t batch_size,
     const std::function<void(std::span<const trace::TaskEvent>)>& sink,

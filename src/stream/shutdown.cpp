@@ -1,0 +1,42 @@
+#include "stream/shutdown.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace cgc::stream {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void handle_shutdown_signal(int) {
+  // Only an atomic store — everything else (spill, summary, exit)
+  // happens on the ingest thread when it next polls the flag.
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a daemon blocked in a stdin read should come back
+  // with EINTR so the ingest loop can observe the flag.
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+void request_shutdown() {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void clear_shutdown() { g_shutdown.store(false, std::memory_order_relaxed); }
+
+}  // namespace cgc::stream

@@ -1,0 +1,98 @@
+// flock-based worker leases with monotonic progress stamps.
+//
+// Every shard worker holds an exclusive lease file in its checkpoint
+// dir for the lifetime of the process. Two properties make this a
+// crash detector rather than a convention:
+//
+//  1. The kernel releases flock() locks when the holder dies, however
+//     it dies (SIGKILL included). A lease file whose lock can be
+//     acquired is therefore *proof* the recorded holder is gone, and
+//     its leftovers are safe to quarantine.
+//  2. The holder refreshes the lease body with a CLOCK_MONOTONIC
+//     nanosecond stamp plus a progress counter on every heartbeat.
+//     CLOCK_MONOTONIC is system-wide comparable across processes, so a
+//     supervisor can read the stamp (without taking the lock) and
+//     classify a live-but-silent worker as hung.
+//
+// The same primitive guards the shared trace-memo cache: the builder
+// of a cache entry holds `<entry>.lock` while writing, so concurrent
+// shards either wait for the published file or find the lock free and
+// become the builder themselves (see cache.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cgc::sweep {
+
+/// What a lease file said when probed (see read_lease()).
+struct LeaseInfo {
+  bool exists = false;    ///< lease file present on disk
+  bool held = false;      ///< flock is currently held by a live process
+  std::int64_t pid = 0;   ///< recorded holder pid (0 if unreadable)
+  std::uint64_t progress = 0;   ///< holder's monotone progress counter
+  std::uint64_t mono_ns = 0;    ///< CLOCK_MONOTONIC stamp of last refresh
+};
+
+/// An exclusively-held lease file. Movable, not copyable; releases (and
+/// unlinks) on destruction. The flock is tied to this object's open
+/// file descriptor — the kernel drops it if the process dies.
+class Lease {
+ public:
+  /// Tries to take the lease at `path` (created if absent) without
+  /// blocking. Returns nullopt when another live process holds it.
+  static std::optional<Lease> try_acquire(const std::string& path);
+
+  Lease(Lease&& other) noexcept;
+  Lease& operator=(Lease&& other) noexcept;
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  ~Lease();
+
+  /// Rewrites the lease body with pid, `progress`, and a fresh
+  /// CLOCK_MONOTONIC stamp. Returns false when the lease has been lost
+  /// (fault site `sweep.lease_steal`, keyed by progress, simulates
+  /// this) — the holder must stop touching the checkpoint dir and exit.
+  bool refresh(std::uint64_t progress);
+
+  /// Releases the flock and unlinks the lease file. Idempotent.
+  void release();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Lease(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Probes a lease file without disturbing a live holder: reads the
+/// body, then tests the flock non-blockingly (immediately unlocking if
+/// the probe succeeded). `held == false` with `exists == true` means
+/// the recorded holder is dead.
+LeaseInfo read_lease(const std::string& path);
+
+/// CLOCK_MONOTONIC now, in nanoseconds (the clock lease stamps use).
+std::uint64_t monotonic_now_ns();
+
+/// What quarantine_stale() moved aside.
+struct QuarantineReport {
+  std::vector<std::string> moved;  ///< paths relative to the swept dir
+  bool stale_lease = false;        ///< a dead worker's lease was found
+};
+
+/// Sweeps `dir` for leftovers of a worker killed mid-case and moves
+/// them into `dir`/quarantine/ with a ".quarantined" suffix:
+///   - a lease file whose flock is free (dead holder),
+///   - report.json.tmp and `*.tmp.<pid>` staging litter,
+///   - any *.dat not listed in `recorded` — the torn window between a
+///     case writing its outputs and the report stamp landing.
+/// worker.log and the quarantine subtree itself are never touched.
+/// Callers must hold the dir's lease (or know no worker is running).
+QuarantineReport quarantine_stale(const std::string& dir,
+                                  const std::vector<std::string>& recorded);
+
+}  // namespace cgc::sweep

@@ -1,4 +1,4 @@
-#include "report_io.hpp"
+#include "sweep/report_io.hpp"
 
 #include <cstdio>
 #include <filesystem>
@@ -8,7 +8,7 @@
 #include "store/encoding.hpp"
 #include "util/check.hpp"
 
-namespace cgc::bench {
+namespace cgc::sweep {
 
 namespace {
 
@@ -216,6 +216,15 @@ void write_report(const SweepReport& report, const std::string& path) {
     out << "  \"complete\": " << (report.complete ? "true" : "false")
         << ",\n";
     out << "  \"total_seconds\": " << report.total_seconds << ",\n";
+    // Shard stamp and merge marker only appear when they carry
+    // information; reports from pre-sharding sweeps parse identically.
+    if (report.shard_total > 1) {
+      out << "  \"shard_index\": " << report.shard_index << ",\n";
+      out << "  \"shard_total\": " << report.shard_total << ",\n";
+    }
+    if (report.merged) {
+      out << "  \"merged\": true,\n";
+    }
     out << "  \"chunks_quarantined\": " << report.chunks_quarantined
         << ",\n";
     out << "  \"rows_lost\": " << report.rows_lost << ",\n";
@@ -286,6 +295,15 @@ ReportReadStatus read_report_checked(const std::string& path,
   get_string(header, "fault_spec", &report.fault_spec);
   get_bool(header, "complete", &report.complete);
   get_double(header, "total_seconds", &report.total_seconds);
+  double shard_index = 0.0;
+  double shard_total = 1.0;
+  if (get_double(header, "shard_index", &shard_index)) {
+    report.shard_index = static_cast<int>(shard_index);
+  }
+  if (get_double(header, "shard_total", &shard_total)) {
+    report.shard_total = static_cast<int>(shard_total);
+  }
+  get_bool(header, "merged", &report.merged);
   get_u64(header, "chunks_quarantined", &report.chunks_quarantined);
   get_u64(header, "rows_lost", &report.rows_lost);
   get_u64(header, "values_defaulted", &report.values_defaulted);
@@ -317,4 +335,4 @@ bool file_crc32(const std::string& path, std::uint32_t* crc,
   return true;
 }
 
-}  // namespace cgc::bench
+}  // namespace cgc::sweep

@@ -6,13 +6,18 @@
 // report on disk, and `--resume` reads it back to skip cases whose
 // recorded .dat outputs still hash-match. One case per line keeps the
 // parser here trivial — it only ever reads what write_report() wrote.
+//
+// Shard workers stamp their reports with `shard i/N` so --merge can
+// verify every input dir belongs to the same partition; the merged
+// report carries `merged: true` and canonicalized per-case fields (see
+// merge.hpp for the determinism argument).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-namespace cgc::bench {
+namespace cgc::sweep {
 
 /// One .dat file a case produced: path (relative to CGC_BENCH_OUT),
 /// content hash and size. Resume re-runs the case unless every output
@@ -52,6 +57,12 @@ struct SweepReport {
   std::string fault_spec;  ///< active CGC_FAULT_SPEC ("" = none)
   bool complete = false;   ///< false while the sweep is still running
   double total_seconds = 0.0;
+  // Sharding stamp: written by `--shard i/N` workers (total > 1) and
+  // checked at merge time so dirs from different partitions cannot be
+  // silently fused. A plain single-process sweep leaves total == 1.
+  int shard_index = 0;
+  int shard_total = 1;
+  bool merged = false;  ///< true only on the artifact --merge writes
   // Degraded-operation accounting aggregated across the sweep (store
   // quarantines + tolerant-parse losses); all zero on a healthy run.
   std::uint64_t chunks_quarantined = 0;
@@ -93,4 +104,4 @@ bool read_report(const std::string& path, SweepReport* out);
 bool file_crc32(const std::string& path, std::uint32_t* crc,
                 std::uint64_t* size);
 
-}  // namespace cgc::bench
+}  // namespace cgc::sweep

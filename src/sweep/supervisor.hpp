@@ -1,0 +1,86 @@
+// Shard-worker supervisor: fork, watch, respawn, degrade.
+//
+// `cgc_report --spawn N` runs one supervisor that forks N shard
+// workers (`--shard i/N --resume`, each in its own checkpoint dir),
+// then watches two signals per worker:
+//
+//   * process exit  — waitpid(). A worker that exits with a complete
+//     report is done; one that crashed or left an incomplete report is
+//     respawned with --resume (capped-backoff, bounded retry budget).
+//     Exit codes from the conflict/usage/fatal classes (2, 3) exhaust
+//     the budget immediately — retrying an operator error is noise.
+//   * heartbeat     — the worker's lease file (lease.hpp). A live pid
+//     whose monotonic progress stamp stops advancing past
+//     CGC_SWEEP_HEARTBEAT seconds is declared hung, SIGKILLed, and
+//     respawned like any other crash. The per-case CGC_CASE_TIMEOUT
+//     watchdog inside the worker fires first in the common case; the
+//     lease catches what it cannot (a worker wedged outside a case).
+//
+// A shard that exhausts its budget is marked kExhausted and the sweep
+// degrades: the merge (allow_partial) synthesizes failed records for
+// its unfinished cases instead of sinking the whole run. Each respawn
+// increments CGC_SWEEP_GENERATION in the child's environment so
+// deterministic kill-injection specs (sweep.worker_kill) key on
+// (generation, case, phase) and do not re-fire identically forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cgc::sweep {
+
+struct SupervisorConfig {
+  std::string exe;            ///< worker binary (usually /proc/self/exe)
+  int num_shards = 1;
+  std::string out_root;       ///< shard dirs live at shard_dir(out_root,...)
+  /// Builds the worker argv (excluding argv[0]) for shard `index`.
+  std::function<std::vector<std::string>(int index)> make_args;
+  /// Extra environment for every worker, as "NAME=value" strings; the
+  /// supervisor appends CGC_BENCH_OUT and CGC_SWEEP_GENERATION itself.
+  std::vector<std::string> extra_env;
+  int retry_budget = 5;        ///< respawns per shard (CGC_SWEEP_RETRY)
+  int backoff_ms = 200;        ///< first respawn delay; doubles, capped
+  int backoff_cap_ms = 5000;
+  double heartbeat_timeout_sec = 120.0;  ///< CGC_SWEEP_HEARTBEAT
+  int poll_ms = 100;           ///< supervisor loop cadence
+};
+
+/// Checkpoint dir for shard `index` of `total` under `out_root`.
+std::string shard_dir(const std::string& out_root, int index, int total);
+
+enum class ShardOutcome {
+  kComplete,   ///< worker finished with a complete report
+  kExhausted,  ///< retry budget spent; cases degrade at merge
+};
+
+struct ShardStatus {
+  int index = 0;
+  std::string dir;
+  ShardOutcome outcome = ShardOutcome::kExhausted;
+  int spawns = 1;     ///< total launches (1 = never died)
+  int kills = 0;      ///< hang detections that led to SIGKILL
+  int last_exit = 0;  ///< worker's final exit code (or -signal)
+};
+
+struct SupervisorResult {
+  std::vector<ShardStatus> shards;
+  int respawns = 0;  ///< total across shards (spawns - num_shards)
+
+  bool all_complete() const {
+    for (const ShardStatus& s : shards) {
+      if (s.outcome != ShardOutcome::kComplete) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Runs the supervisor loop to completion. Fork/exec is performed with
+/// only async-signal-safe calls between fork() and execve(). Metrics:
+/// gauge `sweep.live_workers`, counter `sweep.respawns`.
+SupervisorResult run_supervisor(const SupervisorConfig& config);
+
+}  // namespace cgc::sweep

@@ -44,9 +44,14 @@ class FatalError : public Error {
 
 /// Process exit codes shared by every bench binary and tool:
 ///   0 ok · 1 case/data failure · 2 usage error · 3 fatal environment.
+/// Merge-style drivers (cgc_report --merge/--spawn) reuse 2 as
+/// kExitConflict: the inputs contradict each other (shard overlap,
+/// digest disagreement) — like a usage error, a human must intervene,
+/// and unlike 1 it is not fixed by rerunning a shard.
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitFailure = 1;
 inline constexpr int kExitUsage = 2;
+inline constexpr int kExitConflict = 2;
 inline constexpr int kExitFatal = 3;
 
 /// Maps a caught exception onto the exit-code taxonomy.

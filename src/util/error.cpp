@@ -11,4 +11,14 @@ int exit_code(const std::exception& e) {
   return util::kExitFailure;
 }
 
+int merge_exit_code(const std::exception& e) {
+  if (dynamic_cast<const util::FatalError*>(&e) != nullptr) {
+    return util::kExitFatal;
+  }
+  if (dynamic_cast<const util::DataError*>(&e) != nullptr) {
+    return util::kExitConflict;
+  }
+  return util::kExitFailure;
+}
+
 }  // namespace cgc::error

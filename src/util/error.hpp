@@ -16,4 +16,11 @@ namespace cgc::error {
 /// std::exception — → kExitFailure (1).
 int exit_code(const std::exception& e);
 
+/// Exit code for the merge/supervisor drivers, where the caller's next
+/// action depends on the class: DataError (shard overlap, digest
+/// disagreement) → kExitConflict (2, human intervenes); TransientError
+/// (torn/unfinished shard) → kExitFailure (1, resumable — rerun the
+/// shard and merge again); FatalError → kExitFatal (3).
+int merge_exit_code(const std::exception& e);
+
 }  // namespace cgc::error

@@ -8,9 +8,9 @@
 #include <fstream>
 #include <string>
 
-#include "report_io.hpp"
+#include "sweep/report_io.hpp"
 
-namespace cgc::bench {
+namespace cgc::sweep {
 namespace {
 
 class ReportIoTest : public ::testing::Test {
@@ -68,6 +68,28 @@ TEST_F(ReportIoTest, RoundTripIncludesPerfBlock) {
   EXPECT_EQ(r.outputs[0].size, 321u);
 }
 
+TEST_F(ReportIoTest, ShardStampRoundTripsAndDefaultsWhenAbsent) {
+  SweepReport report = make_report();
+  report.shard_index = 2;
+  report.shard_total = 4;
+  report.merged = true;
+  write_report(report, path_);
+  SweepReport loaded;
+  ASSERT_EQ(read_report_checked(path_, &loaded), ReportReadStatus::kOk);
+  EXPECT_EQ(loaded.shard_index, 2);
+  EXPECT_EQ(loaded.shard_total, 4);
+  EXPECT_TRUE(loaded.merged);
+
+  // An unstamped (pre-sharding / single-process) report parses with the
+  // single-shard defaults.
+  write_report(make_report(), path_);
+  SweepReport plain;
+  ASSERT_EQ(read_report_checked(path_, &plain), ReportReadStatus::kOk);
+  EXPECT_EQ(plain.shard_index, 0);
+  EXPECT_EQ(plain.shard_total, 1);
+  EXPECT_FALSE(plain.merged);
+}
+
 TEST_F(ReportIoTest, MissingFileIsMissingNotCorrupt) {
   SweepReport out;
   EXPECT_EQ(read_report_checked(path_, &out), ReportReadStatus::kMissing);
@@ -122,4 +144,4 @@ TEST_F(ReportIoTest, MangledCaseLineIsCorrupt) {
 }
 
 }  // namespace
-}  // namespace cgc::bench
+}  // namespace cgc::sweep

@@ -1,0 +1,198 @@
+// Tests for the daemon's graceful-shutdown path and spill verification:
+// SIGTERM/SIGINT raise a cooperative flag, ingest stops at the next
+// batch boundary, the open window still spills through the normal
+// flush, the summary stamps `interrupted`, and `verify_spill` vouches
+// for (or indicts) what landed on disk.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "stream/daemon.hpp"
+#include "stream/shutdown.hpp"
+#include "util/check.hpp"
+
+namespace cgc::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Streams the given lines one underflow at a time, raising the
+/// shutdown flag just before line `cutoff` — a SIGTERM landing
+/// mid-stream, made deterministic.
+class ShutdownAtLineBuf : public std::streambuf {
+ public:
+  ShutdownAtLineBuf(std::vector<std::string> lines, std::size_t cutoff)
+      : lines_(std::move(lines)), cutoff_(cutoff) {}
+
+ protected:
+  int_type underflow() override {
+    if (next_ >= lines_.size()) {
+      return traits_type::eof();
+    }
+    if (next_ == cutoff_) {
+      request_shutdown();
+    }
+    current_ = lines_[next_++] + "\n";
+    setg(current_.data(), current_.data(),
+         current_.data() + current_.size());
+    return traits_type::to_int_type(current_[0]);
+  }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t cutoff_;
+  std::size_t next_ = 0;
+  std::string current_;
+};
+
+/// A valid Google task_events row: time (us), job, task, submit event,
+/// file priority 1.
+std::string event_line(std::int64_t time_s, int job, int task) {
+  return std::to_string(time_s * 1000000) + ",," + std::to_string(job) +
+         "," + std::to_string(task) + ",,0,user,0,1";
+}
+
+class StreamDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_shutdown();
+    dir_ = fs::temp_directory_path() /
+           ("cgc_stream_daemon_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    clear_shutdown();
+    fs::remove_all(dir_);
+  }
+
+  std::string spill_dir() const { return (dir_ / "spill").string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(StreamDaemonTest, SignalHandlersRaiseTheFlag) {
+  install_shutdown_handlers();
+  ASSERT_FALSE(shutdown_requested());
+  std::raise(SIGTERM);
+  EXPECT_TRUE(shutdown_requested());
+  clear_shutdown();
+  std::raise(SIGINT);
+  EXPECT_TRUE(shutdown_requested());
+}
+
+TEST_F(StreamDaemonTest, UninterruptedRunSpillsVerifiableWindows) {
+  DaemonConfig config;
+  config.generate = true;
+  config.generate_days = 0.1;  // ~8640 s: at least two hourly windows
+  config.spill_dir = spill_dir();
+  std::istringstream in;
+  std::ostringstream out;
+  DaemonStats stats;
+  const int rc = run_daemon(config, in, out, &stats);
+  EXPECT_EQ(rc, util::kExitOk);
+  EXPECT_FALSE(stats.interrupted);
+  EXPECT_GE(stats.windows_spilled, 2u);
+  EXPECT_NE(out.str().find("\"interrupted\": false"), std::string::npos);
+
+  const SpillAudit audit = verify_spill(spill_dir());
+  EXPECT_TRUE(audit.clean());
+  EXPECT_EQ(audit.windows, stats.windows_spilled);
+  EXPECT_EQ(audit.windows_clean, audit.windows);
+}
+
+TEST_F(StreamDaemonTest, MidStreamShutdownSpillsTheOpenWindow) {
+  // 20 rows, one every 10 minutes; the flag goes up before row 5, so
+  // ingest stops inside the first hourly window.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 20; ++i) {
+    lines.push_back(event_line(i * 600, /*job=*/1, /*task=*/i));
+  }
+  ShutdownAtLineBuf buf(std::move(lines), /*cutoff=*/5);
+  std::istream in(&buf);
+
+  DaemonConfig config;
+  config.input = "-";
+  config.batch_size = 2;
+  config.spill_dir = spill_dir();
+  std::ostringstream out;
+  DaemonStats stats;
+  const int rc = run_daemon(config, in, out, &stats);
+
+  // An operator's shutdown is not an error — and nothing was lost.
+  EXPECT_EQ(rc, util::kExitOk);
+  EXPECT_TRUE(stats.interrupted);
+  EXPECT_GT(stats.events, 0u);
+  EXPECT_LT(stats.events, 20u);
+  EXPECT_GE(stats.windows_spilled, 1u);  // the open window, via flush
+  EXPECT_NE(out.str().find("\"interrupted\": true"), std::string::npos);
+
+  const SpillAudit audit = verify_spill(spill_dir());
+  EXPECT_TRUE(audit.clean());
+  EXPECT_EQ(audit.windows, stats.windows_spilled);
+}
+
+TEST_F(StreamDaemonTest, VerifySpillFlagsCorruptedWindowStore) {
+  DaemonConfig config;
+  config.generate = true;
+  config.generate_days = 0.1;
+  config.spill_dir = spill_dir();
+  std::istringstream in;
+  std::ostringstream out;
+  ASSERT_EQ(run_daemon(config, in, out), util::kExitOk);
+
+  {
+    std::ofstream corrupt(spill_dir() + "/window-000000.cgcs",
+                          std::ios::binary | std::ios::trunc);
+    corrupt << "not a store file";
+  }
+  const SpillAudit audit = verify_spill(spill_dir());
+  EXPECT_FALSE(audit.clean());
+  EXPECT_TRUE(audit.fatal());
+  EXPECT_EQ(audit.windows_clean + 1, audit.windows);
+}
+
+TEST_F(StreamDaemonTest, VerifySpillFlagsManifestCountMismatch) {
+  DaemonConfig config;
+  config.generate = true;
+  config.generate_days = 0.1;
+  config.spill_dir = spill_dir();
+  std::istringstream in;
+  std::ostringstream out;
+  ASSERT_EQ(run_daemon(config, in, out), util::kExitOk);
+
+  // Tamper the first manifest row's raw_events stamp.
+  const std::string manifest = spill_dir() + "/windows.jsonl";
+  std::string content;
+  {
+    std::ifstream f(manifest, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(f), {});
+  }
+  const std::string needle = "\"raw_events\": ";
+  const std::string::size_type pos = content.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  content.insert(pos + needle.size(), "9");  // prepend a digit
+  {
+    std::ofstream f(manifest, std::ios::binary | std::ios::trunc);
+    f << content;
+  }
+  const SpillAudit audit = verify_spill(spill_dir());
+  EXPECT_FALSE(audit.clean());
+  EXPECT_TRUE(audit.fatal());
+}
+
+TEST_F(StreamDaemonTest, VerifySpillThrowsWithoutManifest) {
+  EXPECT_THROW(verify_spill((dir_ / "nowhere").string()), util::Error);
+}
+
+}  // namespace
+}  // namespace cgc::stream

@@ -1,0 +1,600 @@
+// Tests for the crash-tolerant sweep sharding layer (cgc::sweep):
+// deterministic partitioning, flock leases + stale-state quarantine,
+// the shared single-writer trace cache, the verified shard merge with
+// its DataError/TransientError classification, and the supervisor's
+// exit-code triage. The end-to-end kill-and-resume invariant (SIGKILL
+// workers at random, resume, merge, diff against a single-process run)
+// lives in CI's sweep-kill-matrix job; these tests pin the contracts
+// it relies on.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "store/writer.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/lease.hpp"
+#include "sweep/merge.hpp"
+#include "sweep/partition.hpp"
+#include "sweep/report_io.hpp"
+#include "sweep/supervisor.hpp"
+#include "trace/trace_set.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace cgc::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cgc_sweep_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static void write_file(const std::string& p, const std::string& content) {
+    fs::create_directories(fs::path(p).parent_path());
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  static std::string read_file(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  fs::path dir_;
+};
+
+// ---- partitioning ---------------------------------------------------------
+
+TEST_F(SweepTest, ParseShardSpecAcceptsValidRejectsInvalid) {
+  const ShardSpec spec = parse_shard_spec("3/8");
+  EXPECT_EQ(spec.index, 3);
+  EXPECT_EQ(spec.total, 8);
+  EXPECT_TRUE(spec.sharded());
+  EXPECT_EQ(spec.str(), "3/8");
+  const ShardSpec whole = parse_shard_spec("0/1");
+  EXPECT_FALSE(whole.sharded());
+
+  EXPECT_THROW(parse_shard_spec("8/8"), util::FatalError);
+  EXPECT_THROW(parse_shard_spec("-1/4"), util::FatalError);
+  EXPECT_THROW(parse_shard_spec("2"), util::FatalError);
+  EXPECT_THROW(parse_shard_spec("a/b"), util::FatalError);
+  EXPECT_THROW(parse_shard_spec("1/0"), util::FatalError);
+  EXPECT_THROW(parse_shard_spec("1/4x"), util::FatalError);
+}
+
+TEST_F(SweepTest, StableCaseHashMatchesItsDocumentedConstruction) {
+  // The hash is the sharding contract: reports stamped under one
+  // construction cannot be merged under another. Pin FNV-1a +
+  // splitmix64 by recomputing it independently here.
+  const auto reference = [](std::string_view s) {
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+  };
+  for (const char* id : {"tab01_workloads", "fig02_priorities", "a", ""}) {
+    EXPECT_EQ(stable_case_hash(id), reference(id)) << id;
+  }
+  EXPECT_NE(stable_case_hash("fig02"), stable_case_hash("fig03"));
+}
+
+TEST_F(SweepTest, EveryCaseOwnedByExactlyOneShardAndAllShardsUsed) {
+  std::vector<std::string> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back("case_" + std::to_string(i));
+  }
+  const int total = 8;
+  std::vector<int> per_shard(total, 0);
+  for (const std::string& id : ids) {
+    const int owner = shard_of(id, total);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, total);
+    ++per_shard[owner];
+    int owners = 0;
+    for (int i = 0; i < total; ++i) {
+      owners += owns(ShardSpec{i, total}, id) ? 1 : 0;
+    }
+    EXPECT_EQ(owners, 1) << id;
+  }
+  // splitmix diffusion: 100 sequential ids must reach all 8 shards.
+  for (int i = 0; i < total; ++i) {
+    EXPECT_GT(per_shard[i], 0) << "shard " << i << " got no cases";
+  }
+}
+
+// ---- leases ---------------------------------------------------------------
+
+TEST_F(SweepTest, LeaseExcludesSecondHolderAndReleasesCleanly) {
+  const std::string lease_path = path("worker.lease");
+  std::optional<Lease> held = Lease::try_acquire(lease_path);
+  ASSERT_TRUE(held.has_value());
+
+  // flock treats a second open of the same file as a competing holder,
+  // even within one process — good enough to stand in for a second
+  // worker here.
+  EXPECT_FALSE(Lease::try_acquire(lease_path).has_value());
+
+  const LeaseInfo probe = read_lease(lease_path);
+  EXPECT_TRUE(probe.exists);
+  EXPECT_TRUE(probe.held);
+  EXPECT_EQ(probe.pid, static_cast<std::int64_t>(::getpid()));
+
+  held->release();
+  EXPECT_FALSE(fs::exists(lease_path));
+  EXPECT_TRUE(Lease::try_acquire(lease_path).has_value());
+}
+
+TEST_F(SweepTest, RefreshAdvancesProgressStamp) {
+  const std::string lease_path = path("worker.lease");
+  std::optional<Lease> held = Lease::try_acquire(lease_path);
+  ASSERT_TRUE(held.has_value());
+  ASSERT_TRUE(held->refresh(42));
+  const LeaseInfo probe = read_lease(lease_path);
+  EXPECT_EQ(probe.progress, 42u);
+  EXPECT_GT(probe.mono_ns, 0u);
+}
+
+TEST_F(SweepTest, DeadHolderLeaseReadsAsFree) {
+  // A lease file with no live flock holder — what a SIGKILLed worker
+  // leaves behind.
+  write_file(path("worker.lease"), "pid 12345\nprogress 7\nmono_ns 99\n");
+  const LeaseInfo probe = read_lease(path("worker.lease"));
+  EXPECT_TRUE(probe.exists);
+  EXPECT_FALSE(probe.held);
+  EXPECT_EQ(probe.pid, 12345);
+  EXPECT_EQ(probe.progress, 7u);
+}
+
+TEST_F(SweepTest, QuarantineMovesStaleStateAndSparesRecordedOutputs) {
+  write_file(path("worker.lease"), "pid 12345\nprogress 7\nmono_ns 99\n");
+  write_file(path("report.json.tmp"), "torn");
+  write_file(path("cache.cgcs.tmp.123"), "staging litter");
+  write_file(path("torn.dat"), "unstamped output");
+  write_file(path("sub/torn2.dat"), "unstamped output in subdir");
+  write_file(path("keep.dat"), "recorded output");
+  write_file(path("sub/keep2.dat"), "recorded output in subdir");
+  write_file(path("worker.log"), "log");
+  write_file(path("report.json"), "not parsed here");
+
+  const QuarantineReport report =
+      quarantine_stale(dir_.string(), {"keep.dat", "sub/keep2.dat"});
+
+  EXPECT_TRUE(report.stale_lease);
+  const std::set<std::string> moved(report.moved.begin(), report.moved.end());
+  const std::set<std::string> want = {"worker.lease", "report.json.tmp",
+                                      "cache.cgcs.tmp.123", "torn.dat",
+                                      "sub/torn2.dat"};
+  EXPECT_EQ(moved, want);
+  EXPECT_TRUE(fs::exists(path("keep.dat")));
+  EXPECT_TRUE(fs::exists(path("sub/keep2.dat")));
+  EXPECT_TRUE(fs::exists(path("worker.log")));
+  EXPECT_TRUE(fs::exists(path("report.json")));
+  EXPECT_FALSE(fs::exists(path("torn.dat")));
+  // Subdir leftovers land flattened under quarantine/.
+  EXPECT_TRUE(fs::exists(path("quarantine/sub_torn2.dat.quarantined")));
+
+  // Idempotent: a second sweep finds nothing left to move.
+  const QuarantineReport again =
+      quarantine_stale(dir_.string(), {"keep.dat", "sub/keep2.dat"});
+  EXPECT_TRUE(again.moved.empty());
+}
+
+TEST_F(SweepTest, QuarantineLeavesLiveLeaseAlone) {
+  std::optional<Lease> held = Lease::try_acquire(path("worker.lease"));
+  ASSERT_TRUE(held.has_value());
+  const QuarantineReport report = quarantine_stale(dir_.string(), {});
+  EXPECT_FALSE(report.stale_lease);
+  EXPECT_TRUE(fs::exists(path("worker.lease")));
+}
+
+// ---- shared trace cache ---------------------------------------------------
+
+trace::TraceSet tiny_trace(int job_id) {
+  trace::TraceSet trace("sweep-test");
+  trace::Job job;
+  job.job_id = job_id;
+  job.submit_time = 100;
+  job.end_time = 500;
+  trace.add_job(job);
+  trace.set_duration(3600);
+  trace.finalize();
+  return trace;
+}
+
+TEST_F(SweepTest, CacheBuildsOncePublishesAndReloads) {
+  const std::string base = path("cache/entry");
+  int builds = 0;
+  const auto build = [&builds] {
+    ++builds;
+    return tiny_trace(7);
+  };
+
+  CacheResult first = load_or_build_cgcs(base, build);
+  EXPECT_TRUE(first.built);
+  EXPECT_EQ(builds, 1);
+  EXPECT_TRUE(fs::exists(base + ".cgcs"));
+  EXPECT_FALSE(fs::exists(base + ".cgcs.lock"));  // released after publish
+  ASSERT_EQ(first.trace.jobs().size(), 1u);
+  EXPECT_EQ(first.trace.jobs()[0].job_id, 7);
+
+  CacheResult second = load_or_build_cgcs(base, build);
+  EXPECT_FALSE(second.built);
+  EXPECT_EQ(builds, 1);
+  ASSERT_EQ(second.trace.jobs().size(), 1u);
+  EXPECT_EQ(second.trace.jobs()[0].job_id, 7);
+}
+
+TEST_F(SweepTest, CacheDiscardsUnreadableEntryAndRebuilds) {
+  const std::string base = path("cache/entry");
+  int builds = 0;
+  const auto build = [&builds] {
+    ++builds;
+    return tiny_trace(7);
+  };
+  load_or_build_cgcs(base, build);
+  write_file(base + ".cgcs", "garbage, not a store file");
+
+  const CacheResult rebuilt = load_or_build_cgcs(base, build);
+  EXPECT_TRUE(rebuilt.built);
+  EXPECT_EQ(builds, 2);
+  ASSERT_EQ(rebuilt.trace.jobs().size(), 1u);
+}
+
+TEST_F(SweepTest, ConfigHashDistinguishesConfigs) {
+  EXPECT_NE(config_hash("google_workload v1 rate=0.25 horizon=100"),
+            config_hash("google_workload v1 rate=0.5 horizon=100"));
+  const std::string hex = config_hash_hex("x");
+  EXPECT_EQ(hex.size(), 16u);
+}
+
+TEST_F(SweepTest, VerifyCacheFlagsLitterStaleLocksAndDamage) {
+  const std::string cache = path("cache");
+  load_or_build_cgcs(cache + "/good", [] { return tiny_trace(1); });
+  // A dead builder's leftovers: orphaned staging file + free lock.
+  write_file(cache + "/crashed.cgcs.tmp.999", "half-written");
+  write_file(cache + "/crashed.cgcs.lock",
+             "pid 999\nprogress 0\nmono_ns 1\n");
+  // An unreadable entry.
+  write_file(cache + "/broken.cgcs", "garbage");
+
+  const CacheAudit audit = verify_cache(cache);
+  EXPECT_EQ(audit.entries, 2u);        // good + broken
+  EXPECT_EQ(audit.entries_clean, 1u);  // good only
+  EXPECT_EQ(audit.stale_locks, 1u);
+  EXPECT_EQ(audit.tmp_litter, 1u);
+  EXPECT_FALSE(audit.clean());
+  bool saw_fatal = false;
+  for (const CacheIssue& issue : audit.issues) {
+    saw_fatal |= issue.fatal;
+  }
+  EXPECT_TRUE(saw_fatal);  // the unreadable entry
+
+  // A live builder's lock is not an issue unless asked for.
+  std::optional<Lease> live = Lease::try_acquire(cache + "/live.cgcs.lock");
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(verify_cache(cache).issues.size(), audit.issues.size());
+  EXPECT_GT(verify_cache(cache, /*flag_live_locks=*/true).issues.size(),
+            audit.issues.size());
+}
+
+TEST_F(SweepTest, VerifyCacheIsCleanOnHealthyDir) {
+  const std::string cache = path("cache");
+  load_or_build_cgcs(cache + "/good", [] { return tiny_trace(1); });
+  const CacheAudit audit = verify_cache(cache);
+  EXPECT_TRUE(audit.clean());
+  EXPECT_EQ(audit.entries, 1u);
+  EXPECT_EQ(audit.entries_clean, 1u);
+}
+
+// ---- merge ----------------------------------------------------------------
+
+CaseMeta meta_of(const std::string& id) {
+  return {id, "bench_" + id, "figure", "Title " + id};
+}
+
+/// Writes `<id>.dat` into `dir` and returns the matching ok record.
+CaseRecord make_ok_case(const std::string& dir, const std::string& id,
+                        const std::string& content) {
+  const std::string file = id + ".dat";
+  {
+    fs::create_directories(dir);
+    std::ofstream out(dir + "/" + file, std::ios::binary);
+    out << content;
+  }
+  CaseRecord r;
+  r.id = id;
+  r.binary = "bench_" + id;
+  r.kind = "figure";
+  r.title = "Title " + id;
+  r.ok = true;
+  r.seconds = 1.25;  // volatile — must not survive canonicalization
+  r.attempts = 3;
+  CaseOutput o;
+  o.file = file;
+  EXPECT_TRUE(file_crc32(dir + "/" + file, &o.crc, &o.size));
+  r.outputs.push_back(o);
+  return r;
+}
+
+class MergeTest : public SweepTest {
+ protected:
+  /// The case universe: 8 ids, partitioned 2-way by the stable hash.
+  std::vector<CaseMeta> universe() const {
+    std::vector<CaseMeta> expected;
+    for (int i = 0; i < 8; ++i) {
+      expected.push_back(meta_of("case_" + std::to_string(i)));
+    }
+    return expected;
+  }
+
+  /// Builds shard dirs s0/s1 of a 2-way split plus a single-process
+  /// dir holding every case, all with identical .dat content per case.
+  void build_partitioned_dirs() {
+    SweepReport s0, s1, single;
+    s0.shard_index = 0;
+    s0.shard_total = 2;
+    s0.complete = true;
+    s1.shard_index = 1;
+    s1.shard_total = 2;
+    s1.complete = true;
+    single.complete = true;
+    single.threads = 8;       // volatile fields the canonical form drops
+    single.total_seconds = 9.5;
+    for (const CaseMeta& meta : universe()) {
+      const std::string content = "series for " + meta.id + "\n1 2\n3 4\n";
+      single.cases.push_back(
+          make_ok_case(path("single"), meta.id, content));
+      if (shard_of(meta.id, 2) == 0) {
+        s0.cases.push_back(make_ok_case(path("s0"), meta.id, content));
+      } else {
+        s1.cases.push_back(make_ok_case(path("s1"), meta.id, content));
+      }
+    }
+    ASSERT_FALSE(s0.cases.empty());
+    ASSERT_FALSE(s1.cases.empty());
+    write_report(s0, path("s0/report.json"));
+    write_report(s1, path("s1/report.json"));
+    write_report(single, path("single/report.json"));
+  }
+};
+
+TEST_F(MergeTest, ShardMergeIsByteIdenticalToSingleProcessMerge) {
+  build_partitioned_dirs();
+
+  MergeOptions options;
+  options.expected = universe();
+  options.out_dir = path("merged_shards");
+  const MergeResult sharded =
+      merge_shards({path("s0"), path("s1")}, options);
+  EXPECT_EQ(sharded.cases_ok, 8u);
+  EXPECT_EQ(sharded.cases_failed, 0u);
+  EXPECT_EQ(sharded.cases_missing, 0u);
+  EXPECT_EQ(sharded.files_copied, 8u);
+  EXPECT_TRUE(sharded.report.merged);
+  EXPECT_TRUE(sharded.report.complete);
+
+  options.out_dir = path("merged_single");
+  const MergeResult plain = merge_shards({path("single")}, options);
+
+  // The headline invariant, in miniature: same bytes either way.
+  EXPECT_EQ(read_file(path("merged_shards/report.json")),
+            read_file(path("merged_single/report.json")));
+  for (const CaseMeta& meta : universe()) {
+    EXPECT_EQ(read_file(path("merged_shards/" + meta.id + ".dat")),
+              read_file(path("merged_single/" + meta.id + ".dat")))
+        << meta.id;
+  }
+  // Cases come back in universe order, not hash or directory order.
+  ASSERT_EQ(sharded.report.cases.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(sharded.report.cases[i].id, universe()[i].id);
+    EXPECT_EQ(sharded.report.cases[i].attempts, 1);
+    EXPECT_DOUBLE_EQ(sharded.report.cases[i].seconds, 0.0);
+  }
+}
+
+TEST_F(MergeTest, OverlappingClaimIsConflictNamingTheCase) {
+  SweepReport a, b;
+  a.complete = true;
+  b.complete = true;
+  a.cases.push_back(make_ok_case(path("a"), "dup_case", "same\n"));
+  b.cases.push_back(make_ok_case(path("b"), "dup_case", "same\n"));
+  write_report(a, path("a/report.json"));
+  write_report(b, path("b/report.json"));
+
+  MergeOptions options;
+  options.expected = {meta_of("dup_case")};
+  options.out_dir = path("out");
+  try {
+    merge_shards({path("a"), path("b")}, options);
+    FAIL() << "overlap not detected";
+  } catch (const util::DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("dup_case"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("claimed by both"),
+              std::string::npos);
+    EXPECT_EQ(error::merge_exit_code(e), util::kExitConflict);
+  }
+}
+
+TEST_F(MergeTest, DigestDisagreementIsConflict) {
+  SweepReport a;
+  a.complete = true;
+  CaseRecord r = make_ok_case(path("a"), "case_x", "original bytes\n");
+  r.outputs[0].crc ^= 0xffffffffu;  // recorded digest no longer matches
+  a.cases.push_back(r);
+  write_report(a, path("a/report.json"));
+
+  MergeOptions options;
+  options.expected = {meta_of("case_x")};
+  options.out_dir = path("out");
+  try {
+    merge_shards({path("a")}, options);
+    FAIL() << "digest mismatch not detected";
+  } catch (const util::DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("digest disagreement"),
+              std::string::npos);
+    EXPECT_EQ(error::merge_exit_code(e), util::kExitConflict);
+  }
+}
+
+TEST_F(MergeTest, PartitionMismatchIsConflict) {
+  // Find an id the 2-way split assigns to shard 1, then stamp the dir
+  // claiming it as shard 0/2 — dirs from different partitions.
+  std::string foreign;
+  for (int i = 0; i < 64 && foreign.empty(); ++i) {
+    const std::string id = "probe_" + std::to_string(i);
+    if (shard_of(id, 2) == 1) {
+      foreign = id;
+    }
+  }
+  ASSERT_FALSE(foreign.empty());
+  SweepReport a;
+  a.shard_index = 0;
+  a.shard_total = 2;
+  a.complete = true;
+  a.cases.push_back(make_ok_case(path("a"), foreign, "bytes\n"));
+  write_report(a, path("a/report.json"));
+
+  MergeOptions options;
+  options.expected = {meta_of(foreign)};
+  options.out_dir = path("out");
+  EXPECT_THROW(merge_shards({path("a")}, options), util::DataError);
+}
+
+TEST_F(MergeTest, TornReportIsResumableNotConflict) {
+  SweepReport a;
+  a.complete = true;
+  a.cases.push_back(make_ok_case(path("a"), "case_x", "bytes\n"));
+  write_report(a, path("a/report.json"));
+  const std::string bytes = read_file(path("a/report.json"));
+  write_file(path("a/report.json"), bytes.substr(0, bytes.size() / 2));
+
+  MergeOptions options;
+  options.expected = {meta_of("case_x")};
+  options.out_dir = path("out");
+  try {
+    merge_shards({path("a")}, options);
+    FAIL() << "torn report not detected";
+  } catch (const util::TransientError& e) {
+    EXPECT_NE(std::string(e.what()).find("resumable"), std::string::npos);
+    EXPECT_EQ(error::merge_exit_code(e), util::kExitFailure);
+  }
+
+  // With allow_partial the torn shard degrades to synthesized failures
+  // instead (the supervisor's budget-exhausted path).
+  options.allow_partial = true;
+  const MergeResult degraded = merge_shards({path("a")}, options);
+  EXPECT_EQ(degraded.cases_missing, 1u);
+  EXPECT_FALSE(degraded.notes.empty());
+  ASSERT_EQ(degraded.report.cases.size(), 1u);
+  EXPECT_FALSE(degraded.report.cases[0].ok);
+}
+
+TEST_F(MergeTest, MissingShardIsResumable) {
+  build_partitioned_dirs();
+  MergeOptions options;
+  options.expected = universe();
+  options.out_dir = path("out");
+  EXPECT_THROW(merge_shards({path("s0")}, options), util::TransientError);
+
+  options.allow_partial = true;
+  const MergeResult partial = merge_shards({path("s0")}, options);
+  EXPECT_GT(partial.cases_missing, 0u);
+  EXPECT_EQ(partial.cases_ok + partial.cases_missing, 8u);
+}
+
+TEST_F(MergeTest, MergingAMergeIsRejected) {
+  build_partitioned_dirs();
+  MergeOptions options;
+  options.expected = universe();
+  options.out_dir = path("out");
+  merge_shards({path("s0"), path("s1")}, options);
+
+  MergeOptions again = options;
+  again.out_dir = path("out2");
+  EXPECT_THROW(merge_shards({path("out")}, again), util::DataError);
+}
+
+// ---- supervisor -----------------------------------------------------------
+
+SupervisorConfig fast_supervisor(const std::string& out_root) {
+  SupervisorConfig config;
+  config.num_shards = 1;
+  config.out_root = out_root;
+  config.make_args = [](int) { return std::vector<std::string>{}; };
+  config.retry_budget = 2;
+  config.backoff_ms = 1;
+  config.backoff_cap_ms = 2;
+  config.poll_ms = 5;
+  return config;
+}
+
+TEST_F(SweepTest, SupervisorCompletesWorkerThatFinishes) {
+  SupervisorConfig config = fast_supervisor(dir_.string());
+  config.exe = "/bin/true";
+  // The worker's checkpoint already says "complete" — /bin/true stands
+  // in for a worker whose final flush landed.
+  const std::string sdir = shard_dir(config.out_root, 0, 1);
+  fs::create_directories(sdir);
+  SweepReport done;
+  done.complete = true;
+  write_report(done, sdir + "/report.json");
+
+  const SupervisorResult result = run_supervisor(config);
+  ASSERT_EQ(result.shards.size(), 1u);
+  EXPECT_EQ(result.shards[0].outcome, ShardOutcome::kComplete);
+  EXPECT_EQ(result.shards[0].spawns, 1);
+  EXPECT_EQ(result.respawns, 0);
+  EXPECT_TRUE(result.all_complete());
+}
+
+TEST_F(SweepTest, SupervisorExhaustsUnlaunchableWorkerWithoutRetry) {
+  SupervisorConfig config = fast_supervisor(dir_.string());
+  config.exe = "/nonexistent/worker/binary";
+  const SupervisorResult result = run_supervisor(config);
+  ASSERT_EQ(result.shards.size(), 1u);
+  EXPECT_EQ(result.shards[0].outcome, ShardOutcome::kExhausted);
+  EXPECT_EQ(result.shards[0].spawns, 1);  // exec failure: no retry
+  EXPECT_EQ(result.shards[0].last_exit, 127);
+  EXPECT_FALSE(result.all_complete());
+}
+
+TEST_F(SweepTest, SupervisorRespawnsCrashingWorkerUntilBudgetExhausted) {
+  SupervisorConfig config = fast_supervisor(dir_.string());
+  config.exe = "/bin/false";  // exits 1 without ever writing a report
+  const SupervisorResult result = run_supervisor(config);
+  ASSERT_EQ(result.shards.size(), 1u);
+  EXPECT_EQ(result.shards[0].outcome, ShardOutcome::kExhausted);
+  EXPECT_EQ(result.shards[0].spawns, 3);  // initial + 2 budgeted respawns
+  EXPECT_EQ(result.respawns, 2);
+  EXPECT_EQ(result.shards[0].last_exit, 1);
+}
+
+}  // namespace
+}  // namespace cgc::sweep
