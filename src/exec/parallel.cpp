@@ -1,13 +1,12 @@
 #include "exec/parallel.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/mutex.hpp"
 
 namespace cgc::exec {
 
@@ -30,14 +29,16 @@ constexpr std::size_t kDefaultGrain = 1024;
 /// flooding the queue.
 constexpr std::size_t kMaxChunks = 256;
 
-util::ThreadPool*& pool_override() {
-  static util::ThreadPool* override_pool = nullptr;
-  return override_pool;
-}
+/// The ScopedPool override slot and the mutex guarding it, together so
+/// the guarded_by relation is expressible.
+struct PoolOverride {
+  util::Mutex mutex;
+  util::ThreadPool* pool CGC_GUARDED_BY(mutex) = nullptr;
+};
 
-std::mutex& pool_override_mutex() {
-  static std::mutex mutex;
-  return mutex;
+PoolOverride& pool_override() {
+  static PoolOverride slot;
+  return slot;
 }
 
 }  // namespace
@@ -63,23 +64,26 @@ ChunkPlan plan_chunks(std::size_t begin, std::size_t end, std::size_t grain) {
 }
 
 ScopedPool::ScopedPool(util::ThreadPool* pool) {
-  std::lock_guard lock(pool_override_mutex());
-  previous_ = pool_override();
-  pool_override() = pool;
+  PoolOverride& slot = pool_override();
+  util::MutexLock lock(slot.mutex);
+  previous_ = slot.pool;
+  slot.pool = pool;
 }
 
 ScopedPool::~ScopedPool() {
-  std::lock_guard lock(pool_override_mutex());
-  pool_override() = previous_;
+  PoolOverride& slot = pool_override();
+  util::MutexLock lock(slot.mutex);
+  slot.pool = previous_;
 }
 
 namespace detail {
 
 util::ThreadPool& pool() {
   {
-    std::lock_guard lock(pool_override_mutex());
-    if (pool_override() != nullptr) {
-      return *pool_override();
+    PoolOverride& slot = pool_override();
+    util::MutexLock lock(slot.mutex);
+    if (slot.pool != nullptr) {
+      return *slot.pool;
     }
   }
   return util::ThreadPool::shared();
@@ -118,10 +122,11 @@ void run_chunks(std::size_t num_chunks,
     std::function<void(std::size_t)> fn;
     std::size_t num_chunks = 0;
     std::atomic<std::size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::size_t completed = 0;
-    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+    util::Mutex mutex;
+    util::CondVar done_cv;
+    std::size_t completed CGC_GUARDED_BY(mutex) = 0;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors
+        CGC_GUARDED_BY(mutex);
   };
   auto state = std::make_shared<State>();
   state->fn = fn;
@@ -154,7 +159,7 @@ void run_chunks(std::size_t num_chunks,
       } catch (...) {
         error = std::current_exception();
       }
-      std::lock_guard lock(s->mutex);
+      util::MutexLock lock(s->mutex);
       if (error) {
         s->errors.emplace_back(ci, error);
       }
@@ -183,9 +188,10 @@ void run_chunks(std::size_t num_chunks,
   }
   work(state);
 
-  std::unique_lock lock(state->mutex);
-  state->done_cv.wait(lock,
-                      [&] { return state->completed == state->num_chunks; });
+  util::MutexLock lock(state->mutex);
+  while (state->completed != state->num_chunks) {
+    state->done_cv.wait(state->mutex);
+  }
   if (!state->errors.empty()) {
     // Deterministic choice: lowest chunk index wins.
     auto first = state->errors.front();

@@ -41,11 +41,12 @@ std::size_t num_workers();
 /// Deterministic chunking of [begin, end): fixed boundaries for a given
 /// (size, grain) pair, independent of the worker count.
 struct ChunkPlan {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-  std::size_t chunk_size = 0;
-  std::size_t num_chunks = 0;
+  std::size_t begin = 0;       ///< first index of the planned range
+  std::size_t end = 0;         ///< one past the last index
+  std::size_t chunk_size = 0;  ///< indices per chunk (last may be short)
+  std::size_t num_chunks = 0;  ///< total chunks covering [begin, end)
 
+  /// Half-open [lo, hi) index range of `chunk` (< num_chunks).
   std::pair<std::size_t, std::size_t> bounds(std::size_t chunk) const {
     const std::size_t lo = begin + chunk * chunk_size;
     return {lo, std::min(end, lo + chunk_size)};
@@ -63,7 +64,9 @@ ChunkPlan plan_chunks(std::size_t begin, std::size_t end,
 /// 1-worker run against an N-worker run in-process. Overrides nest.
 class ScopedPool {
  public:
+  /// Routes subsequent parallel regions to `pool` (nullptr = serial).
   explicit ScopedPool(util::ThreadPool* pool);
+  /// Restores the override that was active at construction.
   ~ScopedPool();
   ScopedPool(const ScopedPool&) = delete;
   ScopedPool& operator=(const ScopedPool&) = delete;

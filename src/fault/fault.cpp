@@ -2,10 +2,10 @@
 
 #include <charconv>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 
 namespace cgc::fault {
 
@@ -28,8 +28,9 @@ struct Config {
   std::vector<Site> sites;
 };
 
-std::mutex g_mutex;
-const Config* g_config = nullptr;  // leaked on reconfigure; sites are tiny
+util::Mutex g_mutex;
+// Leaked on reconfigure; sites are tiny.
+const Config* g_config CGC_GUARDED_BY(g_mutex) = nullptr;
 
 /// splitmix64 — a strong 64-bit mixer; the p= trigger hashes
 /// (seed, site, key) through it and compares against p * 2^64.
@@ -193,7 +194,7 @@ namespace detail {
 std::atomic<bool> g_armed{false};
 
 bool should_fail_slow(std::string_view site, std::uint64_t key) {
-  std::lock_guard lock(g_mutex);
+  util::MutexLock lock(g_mutex);
   if (g_config == nullptr) {
     return false;
   }
@@ -210,7 +211,7 @@ void maybe_throw(std::string_view site, std::uint64_t key,
   }
   ErrorKind kind = fallback;
   {
-    std::lock_guard lock(g_mutex);
+    util::MutexLock lock(g_mutex);
     const Site* s = g_config ? find_site(g_config, site) : nullptr;
     if (s != nullptr && s->kind_set) {
       kind = s->kind;
@@ -231,7 +232,7 @@ void maybe_throw(std::string_view site, std::uint64_t key,
 void configure(const std::string& spec) {
   const Config* config = spec.empty() ? nullptr : parse_spec(spec);
   {
-    std::lock_guard lock(g_mutex);
+    util::MutexLock lock(g_mutex);
     // The previous config is leaked intentionally: concurrent
     // should_fail_slow() holds the lock, so the swap itself is safe,
     // and configs are a few hundred bytes arriving once per process
@@ -242,7 +243,7 @@ void configure(const std::string& spec) {
 }
 
 std::string active_spec() {
-  std::lock_guard lock(g_mutex);
+  util::MutexLock lock(g_mutex);
   return g_config == nullptr ? std::string() : g_config->spec;
 }
 

@@ -2,12 +2,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <variant>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 
 namespace cgc::obs {
 
@@ -98,8 +98,12 @@ using Metric = std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
                             std::unique_ptr<Histogram>>;
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, Metric, std::less<>> metrics;
+  util::Mutex mutex;
+  // Guarded: the map structure. The metric objects behind the
+  // unique_ptrs are lock-free (atomics) and are mutated unguarded by
+  // design — registration returns stable references.
+  std::map<std::string, Metric, std::less<>> metrics
+      CGC_GUARDED_BY(mutex);
 };
 
 /// Leaked so atexit exporters never race static destruction.
@@ -111,7 +115,7 @@ Registry& registry() {
 template <typename T>
 T& find_or_create(std::string_view name, const char* kind) {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   auto it = r.metrics.find(name);
   if (it == r.metrics.end()) {
     it = r.metrics.emplace(std::string(name), std::make_unique<T>()).first;
@@ -140,13 +144,13 @@ Histogram& histogram(std::string_view name) {
 
 std::size_t num_sites() {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   return r.metrics.size();
 }
 
 void reset_metrics() {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   for (auto& [name, metric] : r.metrics) {
     std::visit([](auto& m) { m->reset(); }, metric);
   }
@@ -154,7 +158,7 @@ void reset_metrics() {
 
 void write_metrics_json(std::ostream& out) {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   // Names are dotted identifiers chosen by call sites — no escaping
   // beyond what std::map ordering already guarantees (determinism).
   out << "{\n  \"counters\": {";

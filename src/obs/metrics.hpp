@@ -39,12 +39,15 @@ namespace cgc::obs {
 
 class Counter {
  public:
+  /// Adds `n` to the count (lock-free, relaxed order).
   void add(std::uint64_t n = 1) {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Current count.
   std::uint64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
+  /// Zeroes the count (the registry identity is untouched).
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -56,11 +59,15 @@ class Gauge {
   /// Adjusts the level; the high-water mark tracks every intermediate
   /// value set through this interface.
   void add(std::int64_t delta);
+  /// Sets the level directly (also feeds the high-water mark).
   void set(std::int64_t value);
+  /// Current level.
   std::int64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
+  /// High-water mark since construction or the last reset().
   std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Zeroes level and high-water mark.
   void reset();
 
  private:
@@ -77,19 +84,25 @@ class Histogram {
   static constexpr std::size_t kNumBuckets =
       stats::bucketing::kNumLog2Buckets;
 
+  /// Records one observation into its log2 bucket.
   void observe(std::uint64_t value);
 
+  /// Observations recorded so far.
   std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
   }
+  /// Sum of every observed value.
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// 0 when empty.
   std::uint64_t min() const;
+  /// Largest observed value (0 when empty).
   std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// sum()/count(), 0.0 when empty.
   double mean() const;
   /// Upper bound of the bucket containing the p-quantile (p in [0,1]);
   /// a factor-of-two estimate, which is what a log2 histogram can give.
   std::uint64_t approx_percentile(double p) const;
+  /// Zeroes all buckets and extrema.
   void reset();
 
  private:

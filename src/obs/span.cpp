@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
 
 namespace cgc::obs {
 namespace {
@@ -23,17 +23,17 @@ struct SpanEvent {
 /// Per-thread event buffer. Its mutex is uncontended in steady state —
 /// the owning thread appends; only export_now() contends, briefly.
 struct ThreadBuffer {
-  std::mutex mutex;
-  std::uint32_t tid = 0;
-  std::vector<SpanEvent> events;
+  util::Mutex mutex;
+  std::uint32_t tid = 0;  // written once at registration, then read-only
+  std::vector<SpanEvent> events CGC_GUARDED_BY(mutex);
 };
 
 /// All buffers ever created, kept alive past thread exit by shared
 /// ownership so export after a pool shuts down still sees its spans.
 struct BufferRegistry {
-  std::mutex mutex;
-  std::uint32_t next_tid = 1;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  util::Mutex mutex;
+  std::uint32_t next_tid CGC_GUARDED_BY(mutex) = 1;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers CGC_GUARDED_BY(mutex);
 };
 
 /// Leaked: export runs from atexit and must not race static teardown.
@@ -46,7 +46,7 @@ ThreadBuffer& local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
     BufferRegistry& r = buffer_registry();
-    std::lock_guard lock(r.mutex);
+    util::MutexLock lock(r.mutex);
     b->tid = r.next_tid++;
     r.buffers.push_back(b);
     return b;
@@ -97,7 +97,7 @@ namespace detail {
 void record_span(std::string name, std::uint64_t start_ns,
                  std::uint64_t dur_ns) {
   ThreadBuffer& b = local_buffer();
-  std::lock_guard lock(b.mutex);
+  util::MutexLock lock(b.mutex);
   b.events.push_back(SpanEvent{std::move(name), b.tid, start_ns, dur_ns});
 }
 
@@ -107,9 +107,9 @@ void write_chrome_trace(std::ostream& out) {
   std::vector<SpanEvent> events;
   {
     BufferRegistry& r = buffer_registry();
-    std::lock_guard registry_lock(r.mutex);
+    util::MutexLock registry_lock(r.mutex);
     for (const auto& buffer : r.buffers) {
-      std::lock_guard buffer_lock(buffer->mutex);
+      util::MutexLock buffer_lock(buffer->mutex);
       events.insert(events.end(), buffer->events.begin(),
                     buffer->events.end());
     }
@@ -138,10 +138,10 @@ void write_chrome_trace(std::ostream& out) {
 
 std::size_t span_count() {
   BufferRegistry& r = buffer_registry();
-  std::lock_guard registry_lock(r.mutex);
+  util::MutexLock registry_lock(r.mutex);
   std::size_t n = 0;
   for (const auto& buffer : r.buffers) {
-    std::lock_guard buffer_lock(buffer->mutex);
+    util::MutexLock buffer_lock(buffer->mutex);
     n += buffer->events.size();
   }
   return n;

@@ -36,6 +36,7 @@ void record_span(std::string name, std::uint64_t start_ns,
 /// is armed at construction time.
 class Span {
  public:
+  /// Starts the span now; a no-op shell when tracing is disarmed.
   explicit Span(std::string name) {
     if (trace_enabled()) {
       armed_ = true;
@@ -43,6 +44,7 @@ class Span {
       start_ns_ = now_ns();
     }
   }
+  /// Closes the span and buffers it for export.
   ~Span() {
     if (armed_) {
       detail::record_span(std::move(name_), start_ns_,
@@ -63,7 +65,10 @@ class Span {
 /// and/or a span of the same name (tracing armed).
 class ScopedTimer {
  public:
+  /// Resolves the histogram / arms the span; `name` must outlive the
+  /// timer (call sites pass string literals).
   explicit ScopedTimer(const char* name);
+  /// Observes the elapsed nanoseconds into whichever sinks are armed.
   ~ScopedTimer();
 
   ScopedTimer(const ScopedTimer&) = delete;

@@ -10,7 +10,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
-#include <unordered_map>
+#include <map>
 #include <utility>
 
 #include "exec/parallel.hpp"
@@ -907,8 +907,10 @@ trace::TraceSet ClusterSim::run(const Workload& workload,
 
   // Aggregate jobs from tasks.
   if (config_.record_tasks) {
-    std::unordered_map<std::int64_t, trace::Job> jobs;
-    std::unordered_map<std::int64_t, double> job_cpu_seconds;
+    // Ordered by job id: the emission loop below feeds add_job()
+    // directly, so iteration order reaches the output arrays.
+    std::map<std::int64_t, trace::Job> jobs;
+    std::map<std::int64_t, double> job_cpu_seconds;
     for (const trace::Task& t : impl.out.tasks()) {
       auto [it, inserted] = jobs.try_emplace(t.job_id);
       trace::Job& j = it->second;

@@ -2,7 +2,7 @@
 //
 // Every field below is a modeling or engineering knob of ClusterSim;
 // each is documented where it is declared (CI enforces this for all
-// public sim headers — see tools/check_sim_doc_coverage.py). Defaults
+// public sim headers — see tools/cgc_lint.py --check doc-coverage). Defaults
 // model the paper's Google cluster; GridWorkloadModel overrides the
 // noise knobs for the steady Grid hosts (Fig 13).
 #pragma once

@@ -254,7 +254,7 @@ std::string StoreReader::verify_payload(const ChunkMeta& chunk) const {
 void StoreReader::quarantine(const ChunkMeta& chunk,
                              const std::string& reason) const {
   const std::size_t idx = chunk_index(chunk);
-  std::lock_guard lock(damage_mutex_);
+  util::MutexLock lock(damage_mutex_);
   if (idx != kNoIndex) {
     if (chunk_bad_[idx].load(std::memory_order_relaxed)) {
       return;  // already recorded by another accessor
@@ -292,7 +292,7 @@ bool StoreReader::chunk_ok(const ChunkMeta& chunk) const noexcept {
 }
 
 DamageReport StoreReader::damage() const {
-  std::lock_guard lock(damage_mutex_);
+  util::MutexLock lock(damage_mutex_);
   return damage_;
 }
 
@@ -433,7 +433,7 @@ trace::TraceSet StoreReader::load_trace_set() const {
   // the surviving rows exactly as written. Lost ranges are compacted
   // out after the parallel fill (each group writes to its own disjoint
   // range, so dropped groups simply leave holes to erase).
-  std::mutex lost_mutex;
+  util::Mutex lost_mutex;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> lost_tasks;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> lost_events;
   auto group_damaged = [&](const RowGroupChunks& g) {
@@ -451,7 +451,7 @@ trace::TraceSet StoreReader::load_trace_set() const {
     return bad;
   };
   auto account_lost_rows = [&](std::uint64_t rows) {
-    std::lock_guard lock(damage_mutex_);
+    util::MutexLock lock(damage_mutex_);
     damage_.rows_lost += rows;
   };
 
@@ -459,7 +459,7 @@ trace::TraceSet StoreReader::load_trace_set() const {
   exec::parallel_for(0, task_groups.size(), [&](std::size_t gi) {
     const RowGroupChunks& g = task_groups[gi];
     if (group_damaged(g)) {
-      std::lock_guard lock(lost_mutex);
+      util::MutexLock lock(lost_mutex);
       lost_tasks.emplace_back(g.row_begin, g.row_count);
       return;
     }
@@ -501,7 +501,7 @@ trace::TraceSet StoreReader::load_trace_set() const {
   exec::parallel_for(0, event_groups.size(), [&](std::size_t gi) {
     const RowGroupChunks& g = event_groups[gi];
     if (group_damaged(g)) {
-      std::lock_guard lock(lost_mutex);
+      util::MutexLock lock(lost_mutex);
       lost_events.emplace_back(g.row_begin, g.row_count);
       return;
     }
@@ -552,7 +552,7 @@ trace::TraceSet StoreReader::load_trace_set() const {
       return;
     }
     if (mode_ == ReadMode::kDegraded && !chunk_ok(c)) {
-      std::lock_guard lock(damage_mutex_);
+      util::MutexLock lock(damage_mutex_);
       damage_.values_defaulted += c.row_count;
       return;
     }
@@ -835,7 +835,7 @@ ScanStats StoreReader::scan(
         }
       }
       if (bad) {
-        std::lock_guard lock(damage_mutex_);
+        util::MutexLock lock(damage_mutex_);
         damage_.rows_lost += g.row_count;
         return;
       }

@@ -23,7 +23,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -32,6 +31,7 @@
 #include "store/cgcs_format.hpp"
 #include "store/mmap_file.hpp"
 #include "trace/trace_set.hpp"
+#include "util/mutex.hpp"
 
 namespace cgc::store {
 
@@ -205,8 +205,8 @@ class StoreReader {
   mutable std::vector<std::atomic<bool>> crc_checked_;
   /// One flag per chunk: known damaged (bounds at open, CRC on access).
   mutable std::vector<std::atomic<bool>> chunk_bad_;
-  mutable std::mutex damage_mutex_;
-  mutable DamageReport damage_;
+  mutable util::Mutex damage_mutex_;
+  mutable DamageReport damage_ CGC_GUARDED_BY(damage_mutex_);
 };
 
 /// Convenience one-shot: open, materialize, close.

@@ -71,7 +71,8 @@ bool try_load(const std::string& cgcs, trace::TraceSet* trace,
 
 /// Removes `<base>.cgcs.tmp.*` staging litter a dead builder left.
 /// Caller holds the builder lock.
-void sweep_staging_litter(const std::string& cgcs) {
+void sweep_staging_litter(const std::string& cgcs)
+    CGC_REQUIRES_LEASE("<cgcs>.lock") {
   const fs::path entry(cgcs);
   const std::string prefix = entry.filename().string() + ".tmp.";
   std::error_code ec;

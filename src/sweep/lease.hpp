@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace cgc::sweep {
 
 /// What a lease file said when probed (see read_lease()).
@@ -93,6 +95,7 @@ struct QuarantineReport {
 /// worker.log and the quarantine subtree itself are never touched.
 /// Callers must hold the dir's lease (or know no worker is running).
 QuarantineReport quarantine_stale(const std::string& dir,
-                                  const std::vector<std::string>& recorded);
+                                  const std::vector<std::string>& recorded)
+    CGC_REQUIRES_LEASE("<dir>/worker.lease");
 
 }  // namespace cgc::sweep

@@ -105,6 +105,9 @@ pid_t spawn_worker(const SpawnPlan& plan) {
     ::dup2(plan.log_fd, STDERR_FILENO);
   }
   ::execve(plan.argv[0], plan.argv.data(), plan.envp.data());
+  // cgc-lint: allow(exit-taxonomy) 127 is the POSIX shell convention
+  // for exec failure; the supervisor's waitpid leg keys on it to tell
+  // "binary missing" from a worker's own taxonomy exits.
   ::_exit(127);
 }
 

@@ -1,6 +1,7 @@
 #include "trace/google_format.hpp"
 
 #include <filesystem>
+#include <map>
 #include <unordered_map>
 
 #include "fault/fault.hpp"
@@ -212,7 +213,10 @@ void read_machine_events(const std::string& path, TraceSet* trace,
 void read_host_usage(const std::string& path, TraceSet* trace,
                      const ParseOptions& options, ParseReport* report) {
   util::CsvReader in(path);
-  std::unordered_map<std::int64_t, HostLoadSeries> series;
+  // Ordered by machine id: finalize() never reorders host-load series,
+  // so the emission loop below fixes their order in the TraceSet — an
+  // unordered map here would leak hash-iteration order into digests.
+  std::map<std::int64_t, HostLoadSeries> series;
   while (in.next_record()) {
     if (fault::armed()) {
       fault::maybe_throw("io.read", in.line_number(),
@@ -319,6 +323,8 @@ void rebuild_tasks_and_jobs(TraceSet* trace) {
     }
   }
 
+  // cgc-lint: allow(unordered-iteration) finalize() sorts tasks by the
+  // unique (job_id, task_index) key, so emission order cannot survive.
   for (auto& [job_id, tasks] : open) {
     for (auto& [index, o] : tasks) {
       trace->add_task(o.record);
@@ -346,6 +352,8 @@ void rebuild_tasks_and_jobs(TraceSet* trace) {
       ++j.num_tasks;
     }
   }
+  // cgc-lint: allow(unordered-iteration) finalize() sorts jobs by the
+  // unique (submit_time, job_id) key, so emission order cannot survive.
   for (const auto& [id, job] : jobs) {
     trace->add_job(job);
   }

@@ -3,7 +3,6 @@
 #include <limits>
 #include <map>
 #include <sstream>
-#include <unordered_map>
 
 #include "util/check.hpp"
 

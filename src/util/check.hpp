@@ -14,6 +14,7 @@ namespace cgc::util {
 /// Exception thrown by CGC_CHECK / CGC_CHECK_MSG on failure.
 class Error : public std::runtime_error {
  public:
+  /// Wraps a complete, human-readable failure message.
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 

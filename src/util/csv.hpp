@@ -43,6 +43,7 @@ std::optional<double> parse_optional_double(std::string_view field);
 ///   while (r.next_record()) { use r.fields(); }
 class CsvReader {
  public:
+  /// Opens `path` for reading; throws Error if it cannot be opened.
   explicit CsvReader(const std::string& path, char sep = ',');
 
   /// Advances to the next non-empty, non-comment record. Lines starting
@@ -55,6 +56,7 @@ class CsvReader {
   /// 1-based line number of the current record (for error messages).
   std::size_t line_number() const { return line_number_; }
 
+  /// Path this reader was opened on (for error messages).
   const std::string& path() const { return path_; }
 
  private:
@@ -69,6 +71,7 @@ class CsvReader {
 /// Buffered CSV writer.
 class CsvWriter {
  public:
+  /// Opens `path` for writing; throws Error if it cannot be created.
   explicit CsvWriter(const std::string& path, char sep = ',');
 
   /// Writes one record; values are written verbatim.
@@ -77,6 +80,7 @@ class CsvWriter {
   /// Writes a raw line (e.g. a comment header).
   void write_line(std::string_view line);
 
+  /// Flushes buffered output to disk.
   void flush();
 
  private:

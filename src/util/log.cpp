@@ -6,13 +6,17 @@
 #include <cstring>
 #include <mutex>
 
+#include "util/mutex.hpp"
+
 namespace cgc::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::once_flag g_env_once;
-std::mutex g_io_mutex;
+// Serializes whole lines onto stderr; no data is guarded, only the
+// interleaving of fprintf calls.
+Mutex g_io_mutex;
 
 void init_from_env() {
   const char* env = std::getenv("CGC_LOG_LEVEL");
@@ -59,7 +63,7 @@ void set_log_level(LogLevel level) {
 namespace detail {
 
 void log_line(LogLevel level, const std::string& message) {
-  std::lock_guard lock(g_io_mutex);
+  MutexLock lock(g_io_mutex);
   std::fprintf(stderr, "[cgc %-5s] %s\n", level_name(level),
                message.c_str());
 }

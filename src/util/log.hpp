@@ -24,12 +24,15 @@ void log_line(LogLevel level, const std::string& message);
 ///   CGC_LOG(kInfo) << "generated " << n << " jobs";
 class LogMessage {
  public:
+  /// Starts a message at `level`; emitted (or dropped) on destruction.
   explicit LogMessage(LogLevel level) : level_(level) {}
+  /// Writes the buffered line if `level` clears the active threshold.
   ~LogMessage() {
     if (level_ >= log_level()) {
       detail::log_line(level_, stream_.str());
     }
   }
+  /// Appends any streamable value to the pending line.
   template <typename T>
   LogMessage& operator<<(const T& value) {
     stream_ << value;

@@ -16,6 +16,7 @@ namespace cgc::util {
 /// Seedable PRNG wrapper around std::mt19937_64 with convenience draws.
 class Rng {
  public:
+  /// Seeds the engine; the default is the splitmix64 golden gamma.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
 
   /// Underlying engine, for use with std:: distributions.

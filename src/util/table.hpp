@@ -13,6 +13,7 @@ namespace cgc::util {
 /// numeric formatting is the caller's job (see cell() helpers).
 class AsciiTable {
  public:
+  /// Creates a table whose rows must match `header`'s column count.
   explicit AsciiTable(std::vector<std::string> header);
 
   /// Appends a data row; must match the header's column count.
@@ -24,6 +25,7 @@ class AsciiTable {
   /// Renders the table with column alignment and box-drawing rules.
   std::string render() const;
 
+  /// Data rows added so far (header excluded).
   std::size_t num_rows() const { return rows_.size(); }
 
  private:

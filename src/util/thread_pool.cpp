@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -33,7 +33,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     CGC_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
     queue_.push(std::move(packaged));
   }
@@ -61,8 +61,13 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit predicate loop (not the lambda-predicate overload) so
+      // the thread-safety analysis sees the guarded reads under the
+      // held capability.
+      while (!stopping_ && queue_.empty()) {
+        cv_.wait(mutex_);
+      }
       if (queue_.empty()) {
         return;  // stopping_ and drained
       }

@@ -6,14 +6,15 @@
 // chunking, nesting-safe waits, and ordered reductions on top of it.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.h"
 
 namespace cgc::util {
 
@@ -23,6 +24,7 @@ class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means hardware_concurrency().
   explicit ThreadPool(std::size_t num_threads = 0);
+  /// Drains the queue, then stops and joins every worker.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -44,10 +46,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<std::packaged_task<void()>> queue_ CGC_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ CGC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cgc::util

@@ -1,0 +1,50 @@
+// Clean fixture: determinism-safe idioms plus one justified
+// suppression. cgc_lint must report zero findings here.
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cgc::fault {
+bool inject(const char*, unsigned long);
+}
+
+namespace cgc::util {
+struct DataError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+}
+
+double sum_rows() {
+  // Ordered container: iteration order is the key order, deterministic.
+  std::map<int, double> rows;
+  rows[1] = 0.5;
+  double total = 0.0;
+  for (const auto& [id, value] : rows) {
+    total += value;
+  }
+
+  std::unordered_map<int, double> scratch;
+  scratch[1] = total;
+  // cgc-lint: allow(unordered-iteration) the loop reduces with +, a
+  // commutative fold whose result is order-invariant.
+  for (const auto& [id, value] : scratch) {
+    total += value;
+  }
+  return total;
+}
+
+bool registered_site_fires() {
+  return cgc::fault::inject("sim.fixture_site", 3);
+}
+
+void fail_with_taxonomy() {
+  throw cgc::util::DataError("bad record");
+}
+
+int main() {
+  if (sum_rows() < 0.0) {
+    return 1;
+  }
+  return 0;
+}

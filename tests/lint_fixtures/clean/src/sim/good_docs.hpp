@@ -1,0 +1,9 @@
+// Clean fixture header: every public member documented.
+#pragma once
+
+/// Fully documented aggregate inside the doc-enforced src/sim root.
+struct FixtureConfig {
+  /// Documented the block way.
+  int block_documented = 0;
+  int trailing_documented = 0;  ///< documented the trailing way
+};

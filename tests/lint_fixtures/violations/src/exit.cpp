@@ -1,0 +1,17 @@
+// Seeded violations: exit-taxonomy breaches plus a reasonless allow().
+#include <cstdlib>
+#include <stdexcept>
+
+void fail_loudly() {
+  throw std::runtime_error("boom");  // line 6: raw std throw
+}
+
+void bail() {
+  std::exit(64);  // line 10: exit code outside 0..3
+}
+
+int main() {
+  bail();
+  // cgc-lint: allow(exit-taxonomy)
+  return 42;  // line 16: suppression above has no reason -> still fails
+}

@@ -1,0 +1,24 @@
+// Seeded violations: every banned nondeterminism construct, one per
+// line, each expected to fire [nondeterminism] at the exact line the
+// lint_test runner asserts. Never compiled — lint input only.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+int entropy() {
+  std::random_device rd;  // line 9: machine entropy
+  return static_cast<int>(rd());
+}
+
+int clock_seed() {
+  return static_cast<int>(time(nullptr));  // line 14: wall clock
+}
+
+long wall_now() {
+  using clock = std::chrono::system_clock;  // line 18: wall clock type
+  return clock::now().time_since_epoch().count();
+}
+
+int libc_rand() {
+  return rand();  // line 23: hidden global PRNG state
+}

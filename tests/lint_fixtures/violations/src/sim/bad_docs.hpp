@@ -1,0 +1,10 @@
+// Seeded violation: a public member without a doc comment, inside the
+// doc-enforced src/sim root.
+#pragma once
+
+/// Documented aggregate; its members still need their own docs.
+struct FixtureConfig {
+  /// Documented member — must NOT be reported.
+  int documented = 0;
+  int undocumented = 0;  // line 9: no doc comment
+};

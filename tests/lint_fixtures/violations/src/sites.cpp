@@ -1,0 +1,9 @@
+// Seeded violation: a fault site that exists in code but in none of
+// README.md, DESIGN.md, or tests/ — all three registry legs fail.
+namespace cgc::fault {
+bool inject(const char*, unsigned long);
+}
+
+bool unregistered_site_fires() {
+  return cgc::fault::inject("sim.unregistered_site", 3);  // line 8
+}

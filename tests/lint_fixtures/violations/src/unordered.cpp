@@ -1,0 +1,12 @@
+// Seeded violation: emission straight out of an unordered_map — the
+// exact pattern that leaks hash-iteration order into outputs.
+#include <cstdio>
+#include <unordered_map>
+
+void emit_rows() {
+  std::unordered_map<int, double> rows;
+  rows[1] = 0.5;
+  for (const auto& [id, value] : rows) {  // line 9: unordered emission
+    std::printf("%d %f\n", id, value);
+  }
+}

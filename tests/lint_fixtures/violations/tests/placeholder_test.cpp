@@ -1,0 +1,3 @@
+// Intentionally references no site name, so the forward registry
+// check reports the fixture's fault site as untested.
+int main() { return 0; }

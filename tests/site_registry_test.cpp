@@ -1,0 +1,128 @@
+// The executable half of the fault/metric site registry.
+//
+// `tools/cgc_lint.py --check site-registry` verifies every site string
+// three ways: README table, DESIGN.md, and "appears in at least one
+// test". This file is that third leg for the full registry — and it is
+// not a string dump: every fault site is armed and proven routable
+// (the spec parser accepts it, the fire decision keys correctly), and
+// every metric site is registered at its real kind, which the registry
+// CHECK-enforces process-wide (a kind mismatch against production code
+// aborts). Add a site to the matching list when you add one to code;
+// the lint job fails the build if the two drift apart.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+
+namespace cgc {
+namespace {
+
+/// Every fault::inject / fault::maybe_throw site in src + bench.
+const char* const kFaultSites[] = {
+    "io.read",
+    "report.case",
+    "report.case_stall",
+    "sim.machine_outage",
+    "sim.task_lost",
+    "store.chunk_crc",
+    "stream.drop",
+    "stream.dup",
+    "sweep.lease_steal",
+    "sweep.torn_merge_input",
+    "sweep.worker_kill",
+};
+
+/// Every obs::counter site in src + bench.
+const char* const kCounterSites[] = {
+    "exec.chunks",
+    "exec.regions",
+    "sim.events",
+    "sim.evictions",
+    "sim.samples",
+    "sim.schedule_passes",
+    "store.bytes_mapped",
+    "store.chunks_decoded",
+    "store.chunks_quarantined",
+    "store.chunks_verified",
+    "store.files_opened",
+    "stream.events_ingested",
+    "stream.late_dropped",
+    "stream.windows_closed",
+    "sweep.cache_builds",
+    "sweep.cache_hits",
+    "sweep.cases_merged",
+    "sweep.files_merged",
+    "sweep.respawns",
+};
+
+/// Every obs::gauge site in src + bench.
+const char* const kGaugeSites[] = {
+    "exec.queue_depth",
+    "sim.pending_depth",
+    "stream.open_windows",
+    "sweep.live_workers",
+};
+
+/// Every obs::histogram / obs::ScopedTimer site in src + bench.
+const char* const kHistogramSites[] = {
+    "exec.chunk_ns",
+    "store.crc_ns",
+    "store.decode_ns",
+    "store.load_trace_set",
+    "store.scan",
+    "stream.window_close_ns",
+    "trace.load",
+};
+
+class SiteRegistryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::configure(""); }
+};
+
+TEST_F(SiteRegistryTest, EveryFaultSiteIsRoutable) {
+  for (const char* site : kFaultSites) {
+    fault::configure(std::string(site) + ":once=7");
+    EXPECT_TRUE(fault::armed()) << site;
+    EXPECT_TRUE(fault::inject(site, 7)) << site;
+    EXPECT_FALSE(fault::inject(site, 8)) << site;
+    // The armed site must not bleed into any other registry entry.
+    for (const char* other : kFaultSites) {
+      if (std::string(other) != site) {
+        EXPECT_FALSE(fault::inject(other, 7)) << site << " -> " << other;
+      }
+    }
+  }
+}
+
+TEST_F(SiteRegistryTest, EveryCounterSiteRegistersAtItsKind) {
+  for (const char* site : kCounterSites) {
+    obs::Counter& c = obs::counter(site);
+    const std::uint64_t before = c.value();
+    c.add(3);
+    EXPECT_EQ(obs::counter(site).value(), before + 3) << site;
+  }
+}
+
+TEST_F(SiteRegistryTest, EveryGaugeSiteRegistersAtItsKind) {
+  for (const char* site : kGaugeSites) {
+    obs::Gauge& g = obs::gauge(site);
+    g.set(5);
+    EXPECT_EQ(obs::gauge(site).value(), 5) << site;
+    EXPECT_GE(obs::gauge(site).max(), 5) << site;
+  }
+}
+
+TEST_F(SiteRegistryTest, EveryHistogramSiteRegistersAtItsKind) {
+  for (const char* site : kHistogramSites) {
+    obs::Histogram& h = obs::histogram(site);
+    const std::uint64_t before = h.count();
+    h.observe(1024);
+    EXPECT_EQ(obs::histogram(site).count(), before + 1) << site;
+  }
+}
+
+}  // namespace
+}  // namespace cgc
