@@ -3,144 +3,157 @@
 // The paper motivates load characterization with resource management:
 // "the resource management system can proactively shift and consolidate
 // load via (VM) migration to improve host utilization, using fewer
-// machines and shutting off unneeded hosts." This example does exactly
-// that calculation on a simulated Google cluster:
+// machines and shutting off unneeded hosts." This example does that
+// calculation as a thin client of cgc::plan: it declares one
+// ScenarioSpec (fleet, horizon, workload model, consolidation target),
+// runs it through plan::run_scenario — the same fast-path simulation +
+// scoring pipeline cgc_plan uses for 576-scenario matrices — and prints
+// the planning scorecard. With --compare it expands a small placement x
+// preemption matrix around the same spec and ranks the alternatives by
+// $/SLO, Pareto frontier included.
 //
-//   1. simulate a month of host load,
-//   2. characterize per-machine and cluster-level usage,
-//   3. compute, per 6-hour planning window, the minimal machine count
-//      that would carry the observed load at a target utilization,
-//   4. report consolidation headroom overall and for the high-priority
-//      subset (which must never be squeezed — it preempts).
+// Input validation (a trace with no host-load series) lives in
+// plan::score_run, which refuses to fabricate a score and throws a
+// util::DataError instead — exit 1, per the repo taxonomy.
 //
-// Planning only needs the host-load samples, so the simulator runs on
-// its fast path: per-event and per-task records are off
-// (record_events/record_tasks), which makes a month over hundreds of
-// machines cheap enough for an interactive example.
-//
-// Usage: capacity_planner [machines] [days] [target_utilization]
-#include <algorithm>
-#include <chrono>
+// Usage: capacity_planner [machines] [days] [target]   (positionals
+// kept for compatibility) or the equivalent --machines/--days/--target
+// flags; see --help.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
-#include "analysis/load_modes.hpp"
-#include "gen/google_model.hpp"
-#include "sim/cluster_sim.hpp"
-#include "stats/descriptive.hpp"
+#include "plan/matrix.hpp"
+#include "plan/plan_io.hpp"
+#include "plan/runner.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
+#include "util/time_util.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace cgc;
-  std::size_t machines = 256;
-  int days = 30;
-  double target = 0.75;
-  if (argc > 1) {
-    machines = static_cast<std::size_t>(std::atoll(argv[1]));
+  util::Args args("capacity_planner",
+                  "consolidation planning for one what-if scenario");
+  args.add_int("machines", 256, "machines in the simulated park");
+  args.add_double("days", 30, "simulation horizon in days");
+  args.add_double("target", 0.75, "consolidation target utilization");
+  args.add_string("workload", "google",
+                  "workload model (google or a grid preset name)");
+  args.add_double("cost", 0.04, "dollars per provisioned machine-hour");
+  args.add_double("slo", 300.0, "queue-wait SLO bound in seconds");
+  args.add_bool("compare", "rank placement x preemption alternatives "
+                           "instead of scoring one scenario");
+  args.set_positional_help(
+      "[machines] [days] [target]",
+      "legacy positional form of --machines/--days/--target");
+  switch (args.parse(argc, argv)) {
+    case util::ParseStatus::kHelp:
+      return util::kExitOk;
+    case util::ParseStatus::kError:
+      return util::kExitUsage;
+    case util::ParseStatus::kOk:
+      break;
   }
-  if (argc > 2) {
-    days = std::atoi(argv[2]);
-  }
-  if (argc > 3) {
-    target = std::atof(argv[3]);
-  }
-
-  std::printf("simulating %zu machines for %d days...\n", machines, days);
-  const util::TimeSec horizon = days * util::kSecondsPerDay;
-  gen::GoogleWorkloadModel model;
-  sim::SimConfig sim_config;
-  sim_config.horizon = horizon;
-  // Fast path: keep the host-load samples (the planner's input), skip
-  // the per-event and per-task records this example never reads.
-  sim_config.record_events = false;
-  sim_config.record_tasks = false;
-  sim::ClusterSim sim(model.make_machines(machines), sim_config);
-  const auto start = std::chrono::steady_clock::now();
-  const trace::TraceSet trace =
-      sim.run(model.generate_sim_workload(horizon, machines));
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  std::printf("  %lld events in %.2f s (%.2fM events/s)\n",
-              static_cast<long long>(sim.stats().events_processed), wall,
-              static_cast<double>(sim.stats().events_processed) / wall / 1e6);
-
-  // Total capacity of the park.
-  double cpu_capacity = 0.0;
-  double mem_capacity = 0.0;
-  for (const trace::Machine& m : trace.machines()) {
-    cpu_capacity += m.cpu_capacity;
-    mem_capacity += m.mem_capacity;
+  const std::vector<std::string>& pos = args.positionals();
+  if (pos.size() > 3) {
+    std::fprintf(stderr, "too many positional arguments\n%s",
+                 args.usage().c_str());
+    return util::kExitUsage;
   }
 
-  // Per planning window: aggregate demand and implied machine need.
-  const util::TimeSec window = 6 * util::kSecondsPerHour;
-  const std::size_t num_windows = static_cast<std::size_t>(
-      days * util::kSecondsPerDay / window);
-  const double mean_machine_cpu =
-      cpu_capacity / static_cast<double>(machines);
-  const double mean_machine_mem =
-      mem_capacity / static_cast<double>(machines);
+  plan::ScenarioSpec spec;
+  spec.fleet = static_cast<std::size_t>(args.get_int("machines"));
+  double days = args.get_double("days");
+  spec.target_utilization = args.get_double("target");
+  if (pos.size() > 0) spec.fleet = static_cast<std::size_t>(std::atoll(pos[0].c_str()));
+  if (pos.size() > 1) days = std::atof(pos[1].c_str());
+  if (pos.size() > 2) spec.target_utilization = std::atof(pos[2].c_str());
+  spec.horizon = static_cast<util::TimeSec>(days * util::kSecondsPerDay);
+  spec.workload = {plan::WorkloadComponent{args.get_string("workload"), 1.0}};
+  // A grid workload plans on a grid park (Cloud-on-Grid and
+  // Grid-on-Cloud cross-replays go through cgc_plan's matrices).
+  spec.hetero_mix = args.get_string("workload") == "google" ? 1.0 : 0.0;
+  spec.cost_per_machine_hour = args.get_double("cost");
+  spec.slo_wait_s = args.get_double("slo");
 
-  util::AsciiTable table({"window (day)", "cpu demand", "mem demand",
-                          "machines needed", "headroom"});
-  stats::RunningStats needed_stats;
-  for (std::size_t w = 0; w < num_windows; ++w) {
-    const util::TimeSec t0 = static_cast<util::TimeSec>(w) * window;
-    const util::TimeSec t1 = t0 + window;
-    // Peak aggregate demand within the window drives the machine count
-    // (consolidation must survive the window's worst 5-minute sample).
-    double peak_cpu = 0.0;
-    double peak_mem = 0.0;
-    const trace::HostLoadSeries& first = trace.host_load()[0];
-    const std::size_t i0 = static_cast<std::size_t>(
-        std::max<util::TimeSec>(0, t0 / first.period()));
-    const std::size_t i1 = static_cast<std::size_t>(t1 / first.period());
-    for (std::size_t i = i0; i < i1; ++i) {
-      double cpu = 0.0;
-      double mem = 0.0;
-      for (const trace::HostLoadSeries& h : trace.host_load()) {
-        if (i < h.size()) {
-          cpu += h.cpu_total(i);
-          mem += h.mem_total(i);
-        }
+  if (args.get_bool("compare")) {
+    const plan::ScenarioMatrix matrix =
+        plan::MatrixBuilder("compare", spec)
+            .placements({sim::PlacementPolicy::kBalanced,
+                         sim::PlacementPolicy::kBestFit,
+                         sim::PlacementPolicy::kWorstFit})
+            .preemptions({true, false})
+            .build();
+    std::printf("comparing %zu scenarios (%zu machines, %.3g days)...\n",
+                matrix.scenarios.size(), spec.fleet, days);
+    plan::PlanRunner runner(matrix, plan::PlanConfig{});
+    const std::vector<plan::ScenarioResult> results = runner.run();
+    std::size_t failed = 0;
+    for (const plan::ScenarioResult& r : results) {
+      if (!r.ok) {
+        ++failed;
+        std::fprintf(stderr, "failed %s: %s\n", r.id.c_str(),
+                     r.error.c_str());
       }
-      peak_cpu = std::max(peak_cpu, cpu);
-      peak_mem = std::max(peak_mem, mem);
     }
-    const double need_cpu = peak_cpu / (target * mean_machine_cpu);
-    const double need_mem = peak_mem / (target * mean_machine_mem);
-    const double needed = std::ceil(std::max(need_cpu, need_mem));
-    needed_stats.add(needed);
-    if (w % 4 == 0) {  // print once per day
-      table.add_row(
-          {util::cell(static_cast<double>(t0) / util::kSecondsPerDay, 3),
-           util::cell_pct(peak_cpu / cpu_capacity),
-           util::cell_pct(peak_mem / mem_capacity),
-           util::cell(needed, 3),
-           util::cell_pct(1.0 - needed / static_cast<double>(machines))});
-    }
+    std::printf("%s", plan::render_comparison_table(results, 0).c_str());
+    return failed == 0 ? util::kExitOk : util::kExitFailure;
   }
+
+  std::printf("simulating %zu machines for %.3g days...\n", spec.fleet,
+              days);
+  const plan::ScenarioResult result = plan::run_scenario(spec);
+  const plan::ScenarioScore& s = result.score;
+
+  util::AsciiTable table({"metric", "value"});
+  table.add_row({"cpu utilization (mean / peak)",
+                 util::cell_pct(s.cpu_util_mean) + " / " +
+                     util::cell_pct(s.cpu_util_peak)});
+  table.add_row({"mem utilization (mean / peak)",
+                 util::cell_pct(s.mem_util_mean) + " / " +
+                     util::cell_pct(s.mem_util_peak)});
+  table.add_row({"queue wait p50/p90/p99 (s)",
+                 util::cell(s.wait_p50_s, 3) + " / " +
+                     util::cell(s.wait_p90_s, 3) + " / " +
+                     util::cell(s.wait_p99_s, 3)});
+  table.add_row({"eviction rate", util::cell_pct(s.eviction_rate)});
+  table.add_row({"SLO attainment", util::cell_pct(s.slo_attainment)});
+  table.add_row({"machines needed (peak 6h window)",
+                 util::cell(s.machines_needed, 3)});
+  table.add_row({"shut-off headroom", util::cell_pct(s.headroom)});
+  table.add_row({"provisioned cost", "$" + util::cell(s.cost_usd, 4)});
+  table.add_row({"consolidated cost",
+                 "$" + util::cell(s.consolidated_cost_usd, 4)});
+  table.add_row({"$ per SLO cpu-hour",
+                 s.usd_per_slo < 0 ? std::string("n/a")
+                                   : "$" + util::cell(s.usd_per_slo, 4)});
   std::printf("%s\n", table.render().c_str());
 
   std::printf("consolidation summary at %.0f%% target utilization:\n",
-              target * 100.0);
-  std::printf("  machines provisioned: %zu\n", machines);
-  std::printf("  mean machines needed: %.1f\n", needed_stats.mean());
-  std::printf("  peak machines needed: %.0f\n", needed_stats.max());
-  std::printf("  mean shut-off headroom: %.1f machines (%.0f%%)\n",
-              static_cast<double>(machines) - needed_stats.mean(),
-              (1.0 - needed_stats.mean() / static_cast<double>(machines)) *
-                  100.0);
+              spec.target_utilization * 100.0);
+  std::printf("  machines provisioned: %zu\n", spec.fleet);
+  std::printf("  peak machines needed: %.0f\n", s.machines_needed);
+  std::printf("  shut-off headroom: %.1f machines (%.0f%%)\n",
+              static_cast<double>(spec.fleet) - s.machines_needed,
+              s.headroom * 100.0);
   std::printf(
       "\nnote: memory, not CPU, is the binding resource — exactly the\n"
       "paper's finding that Google hosts run memory-full but CPU-idle.\n");
+  return util::kExitOk;
+}
 
-  // Load modes (the intro's "characterizing common modes of host load"):
-  // the scheduler would pack new work onto the idle mode's hosts first.
-  const analysis::LoadModesResult modes =
-      analysis::analyze_load_modes(trace, 3);
-  std::printf("\n%s", modes.render().c_str());
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return cgc::error::exit_code(e);
+  }
 }

@@ -36,6 +36,7 @@
 #include "stream/daemon.hpp"
 #include "sweep/cache.hpp"
 #include "trace/loader.hpp"
+#include "util/args.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 
@@ -133,33 +134,63 @@ int verify_cache_dir(const std::string& dir) {
   return cgc::util::kExitFailure;
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  cgc_fsck <file.cgcs>\n"
-               "  cgc_fsck --repair <in.cgcs> <out.cgcs>\n"
-               "  cgc_fsck --spill <dir>\n"
-               "  cgc_fsck --cache <dir>\n");
-  return cgc::util::kExitUsage;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  cgc::util::Args args("cgc_fsck", "validate and repair CGCS store files");
+  args.add_string("repair", "",
+                  "rewrite a clean copy of this damaged .cgcs file; the "
+                  "output path is the positional argument");
+  args.add_string("spill", "", "verify a cgcd spill directory");
+  args.add_string("cache", "", "audit a sweep's shared trace-memo cache");
+  args.set_positional_help(
+      "<file.cgcs> | <out.cgcs>",
+      "the store file to verify, or (with --repair) the repaired output");
+  args.add_usage_note(
+      "Exit codes: 0 clean (or lossless rewrite); 1 damage found or\n"
+      "data lost; 2 usage; 3 fatal (structural damage).");
+  switch (args.parse(argc, argv)) {
+    case cgc::util::ParseStatus::kHelp:
+      return cgc::util::kExitOk;
+    case cgc::util::ParseStatus::kError:
+      return cgc::util::kExitUsage;
+    case cgc::util::ParseStatus::kOk:
+      break;
+  }
+  const std::vector<std::string>& pos = args.positionals();
+  const int modes = (args.provided("repair") ? 1 : 0) +
+                    (args.provided("spill") ? 1 : 0) +
+                    (args.provided("cache") ? 1 : 0);
+  const auto fail_usage = [&](const char* message) {
+    std::fprintf(stderr, "%s\n%s", message, args.usage().c_str());
+    return cgc::util::kExitUsage;
+  };
+  if (modes > 1) {
+    return fail_usage("--repair, --spill and --cache are exclusive");
+  }
   try {
-    if (argc == 2 && argv[1][0] != '-') {
-      return verify(argv[1]);
+    if (args.provided("repair")) {
+      if (pos.size() != 1) {
+        return fail_usage("--repair <in.cgcs> needs one output path");
+      }
+      return repair(args.get_string("repair"), pos[0]);
     }
-    if (argc == 4 && std::string(argv[1]) == "--repair") {
-      return repair(argv[2], argv[3]);
+    if (args.provided("spill")) {
+      if (!pos.empty()) {
+        return fail_usage("--spill takes no positional arguments");
+      }
+      return verify_spill_dir(args.get_string("spill"));
     }
-    if (argc == 3 && std::string(argv[1]) == "--spill") {
-      return verify_spill_dir(argv[2]);
+    if (args.provided("cache")) {
+      if (!pos.empty()) {
+        return fail_usage("--cache takes no positional arguments");
+      }
+      return verify_cache_dir(args.get_string("cache"));
     }
-    if (argc == 3 && std::string(argv[1]) == "--cache") {
-      return verify_cache_dir(argv[2]);
+    if (pos.size() != 1) {
+      return fail_usage("expected exactly one <file.cgcs> to verify");
     }
-    return usage();
+    return verify(pos[0]);
   } catch (const cgc::util::Error& e) {
     // Structural damage (header/trailer/footer) leaves nothing to
     // salvage — that is an environment-level failure for this tool.

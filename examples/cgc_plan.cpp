@@ -1,0 +1,257 @@
+// cgc_plan — what-if capacity planning over a scenario matrix.
+//
+// Expands a declarative scenario matrix (fleet size x workload mix x
+// placement x preemption x priority remap x consolidation target),
+// simulates every scenario on the fast path, and emits plan.json: every
+// score, the Pareto frontier, and the $/SLO ranking. The artifact is
+// byte-identical at any CGC_THREADS and across sharded vs
+// single-process execution.
+//
+//   cgc_plan --matrix small --hours 6 --out plan-out
+//   cgc_plan --matrix default --shard 0/4 --out plan-out   # worker 0
+//   cgc_plan --matrix default --merge --out plan-out       # fuse shards
+//
+// A sharded run writes only its sealed checkpoint
+// (plan-shard-<i>-of-<N>.cgcp); --merge fuses every checkpoint in the
+// out directory into the same plan.json a single process would write.
+// --resume reuses a matching checkpoint's finished scenarios (failed
+// ones are retried; torn checkpoints are quarantined and re-run).
+//
+// Exit codes: 0 ok; 1 any scenario failed or a merge input is
+// incomplete (rerun the shard, merge again); 2 usage, or merge inputs
+// that contradict each other (different matrix digest, overlapping
+// ownership); 3 fatal.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "plan/matrix.hpp"
+#include "plan/plan_io.hpp"
+#include "plan/runner.hpp"
+#include "sweep/partition.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/time_util.hpp"
+
+namespace {
+
+using cgc::plan::ScenarioMatrix;
+using cgc::plan::ScenarioResult;
+
+/// Builds the requested matrix and applies the scoring-knob overrides
+/// (cost, SLO, seed) to every scenario. The caller validates the name
+/// first; the throw here is a backstop for programmer error.
+ScenarioMatrix build_matrix(const cgc::util::Args& args) {
+  cgc::util::TimeSec horizon =
+      static_cast<cgc::util::TimeSec>(args.get_double("hours") *
+                                      cgc::util::kSecondsPerHour);
+  if (args.provided("days")) {
+    horizon = static_cast<cgc::util::TimeSec>(args.get_double("days") *
+                                              cgc::util::kSecondsPerDay);
+  }
+  const std::string& name = args.get_string("matrix");
+  ScenarioMatrix matrix;
+  if (name == "default") {
+    matrix = cgc::plan::default_matrix(horizon);
+  } else if (name == "small") {
+    matrix = cgc::plan::small_matrix(horizon);
+  } else {
+    throw cgc::util::FatalError("unknown matrix: " + name);
+  }
+  for (cgc::plan::ScenarioSpec& spec : matrix.scenarios) {
+    spec.cost_per_machine_hour = args.get_double("cost");
+    spec.slo_wait_s = args.get_double("slo");
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  }
+  return matrix;
+}
+
+/// Reads every shard checkpoint under `out_dir` (sorted by path, so the
+/// merge input order is stable). Torn checkpoints are TransientErrors:
+/// rerun that shard and merge again.
+std::vector<cgc::plan::ShardResults> collect_shards(
+    const std::string& out_dir, const ScenarioMatrix& matrix) {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(out_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("plan-shard-", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".cgcp") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    throw cgc::util::TransientError("--merge: no plan-shard-*.cgcp files in " +
+                                    out_dir);
+  }
+  std::vector<cgc::plan::ShardResults> shards;
+  for (const std::string& path : paths) {
+    cgc::plan::ShardResults shard;
+    switch (cgc::plan::read_results(path, matrix, &shard)) {
+      case cgc::plan::ReadStatus::kOk:
+        shards.push_back(std::move(shard));
+        break;
+      case cgc::plan::ReadStatus::kMissing:
+        break;  // deleted between listing and reading; merge will notice
+      case cgc::plan::ReadStatus::kCorrupt:
+        throw cgc::util::TransientError(
+            "--merge: torn checkpoint " + path + "; rerun that shard");
+    }
+  }
+  return shards;
+}
+
+/// Writes plan.json atomically and prints the ranked comparison.
+/// Returns the failed-scenario count.
+std::size_t emit_plan(const ScenarioMatrix& matrix,
+                      const std::vector<ScenarioResult>& results,
+                      const std::string& out_dir, std::size_t top_n) {
+  const std::string json = cgc::plan::render_plan_json(matrix, results);
+  std::filesystem::create_directories(out_dir);
+  const std::string path = out_dir + "/plan.json";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    if (!out.good()) {
+      throw cgc::util::TransientError("cannot write " + tmp);
+    }
+  }
+  std::filesystem::rename(tmp, path);
+
+  std::size_t failed = 0;
+  for (const ScenarioResult& r : results) {
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "failed %s: %s\n", r.id.c_str(),
+                   r.error.c_str());
+    }
+  }
+  std::printf("%s", cgc::plan::render_comparison_table(results, top_n).c_str());
+  std::printf("\nplan: %zu scenarios (%zu failed) -> %s\n",
+              results.size(), failed, path.c_str());
+  return failed;
+}
+
+int run(int argc, char** argv) {
+  cgc::util::Args args("cgc_plan",
+                       "what-if capacity planning over a scenario matrix");
+  args.add_string("matrix", "default",
+                  "scenario matrix: default (576 scenarios) or small (8)");
+  args.add_double("hours", 6.0, "simulation horizon in hours");
+  args.add_double("days", 0.0, "simulation horizon in days (overrides --hours)");
+  args.add_string("out", "plan-out",
+                  "output directory (plan.json + shard checkpoints)");
+  args.add_string("shard", "0/1",
+                  "run only this shard's scenarios (i/N); writes the "
+                  "checkpoint only");
+  args.add_bool("merge", "fuse shard checkpoints in --out into plan.json");
+  args.add_bool("resume", "reuse finished scenarios from a matching "
+                          "checkpoint; retry failed ones");
+  args.add_bool("list", "print the expanded matrix (id + key) and exit");
+  args.add_double("cost", 0.04, "dollars per provisioned machine-hour");
+  args.add_double("slo", 300.0, "queue-wait SLO bound in seconds");
+  args.add_int("seed", 42, "root seed for generators and simulator");
+  args.add_int("top", 12, "comparison-table rows (0 = all)");
+  args.add_usage_note(
+      "Environment: CGC_THREADS (scenario parallelism; the artifact is\n"
+      "byte-identical at any value), CGC_METRICS / CGC_TRACE\n"
+      "(observability), CGC_FAULT_SPEC (site plan.scenario_fail).");
+  args.add_usage_note(
+      "Exit codes: 0 ok; 1 scenario failure or incomplete merge input;\n"
+      "2 usage or conflicting merge inputs; 3 fatal.");
+  switch (args.parse(argc, argv)) {
+    case cgc::util::ParseStatus::kHelp:
+      return cgc::util::kExitOk;
+    case cgc::util::ParseStatus::kError:
+      return cgc::util::kExitUsage;
+    case cgc::util::ParseStatus::kOk:
+      break;
+  }
+  if (!args.positionals().empty()) {
+    std::fprintf(stderr, "cgc_plan takes no positional arguments\n%s",
+                 args.usage().c_str());
+    return cgc::util::kExitUsage;
+  }
+  const std::string& matrix_name = args.get_string("matrix");
+  if (matrix_name != "default" && matrix_name != "small") {
+    std::fprintf(stderr,
+                 "unknown matrix: %s (expected default or small)\n%s",
+                 matrix_name.c_str(), args.usage().c_str());
+    return cgc::util::kExitUsage;
+  }
+
+  ScenarioMatrix matrix = build_matrix(args);
+  const std::string& out_dir = args.get_string("out");
+  const std::size_t top_n = static_cast<std::size_t>(
+      args.get_int("top") < 0 ? 0 : args.get_int("top"));
+
+  if (args.get_bool("list")) {
+    for (const cgc::plan::ScenarioSpec& spec : matrix.scenarios) {
+      std::printf("%s %s\n", cgc::plan::scenario_id(spec).c_str(),
+                  spec.key().c_str());
+    }
+    std::printf("matrix %s: %zu scenarios, digest %016llx\n",
+                matrix.name.c_str(), matrix.scenarios.size(),
+                static_cast<unsigned long long>(matrix.digest()));
+    return cgc::util::kExitOk;
+  }
+
+  if (args.get_bool("merge")) {
+    try {
+      const std::vector<ScenarioResult> results =
+          cgc::plan::merge_results(matrix, collect_shards(out_dir, matrix));
+      const std::size_t failed = emit_plan(matrix, results, out_dir, top_n);
+      return failed == 0 ? cgc::util::kExitOk : cgc::util::kExitFailure;
+    } catch (const std::exception& e) {
+      // Merge failures follow the conflict taxonomy: contradictory
+      // inputs (foreign digest, overlapping shards) are exit 2 — a
+      // human must intervene; torn/incomplete shards are resumable
+      // exit 1.
+      std::fprintf(stderr, "merge error: %s\n", e.what());
+      return cgc::error::merge_exit_code(e);
+    }
+  }
+
+  cgc::plan::PlanConfig config;
+  config.shard = cgc::sweep::parse_shard_spec(args.get_string("shard"));
+  config.out_dir = out_dir;
+  config.resume = args.get_bool("resume");
+  const cgc::sweep::ShardSpec shard = config.shard;
+  cgc::plan::PlanRunner runner(std::move(matrix), std::move(config));
+  const std::vector<ScenarioResult> results = runner.run();
+
+  std::size_t failed = 0;
+  if (runner.owned().size() == runner.matrix().scenarios.size()) {
+    // Single shard covers the whole matrix: emit the artifact directly.
+    failed = emit_plan(runner.matrix(), results, out_dir, top_n);
+  } else {
+    for (const ScenarioResult& r : results) {
+      if (!r.ok) {
+        ++failed;
+        std::fprintf(stderr, "failed %s: %s\n", r.id.c_str(),
+                     r.error.c_str());
+      }
+    }
+    std::printf("shard %s: %zu/%zu scenarios (%zu resumed, %zu failed) -> %s\n",
+                args.get_string("shard").c_str(), results.size(),
+                runner.matrix().scenarios.size(), runner.resumed(), failed,
+                cgc::plan::shard_results_path(out_dir, shard).c_str());
+  }
+  return failed == 0 ? cgc::util::kExitOk : cgc::util::kExitFailure;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return cgc::error::exit_code(e);
+  }
+}

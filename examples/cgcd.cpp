@@ -8,27 +8,8 @@
 //   cat task_events.csv | cgcd --input - --query queue --query noise
 //   cgcd --generate --days 2 --width 3600 --query all
 //
-// Options:
-//   --input PATH|-        trace file (any Loader format) or "-" for a
-//                         Google task_events pipe on stdin
-//   --generate            synthesize a Google-model workload instead
-//   --days D              generated workload horizon (default 2)
-//   --sampling R          generated task sampling rate (default 0.25)
-//   --rate X              replay speedup: trace seconds per wall second
-//                         (default 0 = unthrottled)
-//   --batch N             events per ingest batch (default 8192)
-//   --width S             window width in seconds (default 3600)
-//   --slide S             window slide (default = width, i.e. tumbling)
-//   --lag S               watermark lag (default 300)
-//   --late drop|absorb    late-event policy (default drop)
-//   --error A             sketch relative error (default 0.01)
-//   --rate-bins N         noise sub-bins per window (default 60)
-//   --spill DIR           durable spill of closed windows (CGCS + JSONL)
-//   --query M             metric to answer (repeatable): priority_mix |
-//                         job_cdf | task_cdf | submission | host_load |
-//                         queue | noise | all
-//   --window I            query window index (default: latest closed)
-//   --strict              fail on trace parse damage instead of counting
+// Flags are declared through util::Args (--help for the full list);
+// --name value and --name=value are both accepted.
 //
 // Environment: CGC_THREADS (ingest parallelism), CGC_METRICS /
 // CGC_TRACE (observability export), CGC_FAULT_SPEC (deterministic
@@ -49,89 +30,93 @@
 
 #include "stream/daemon.hpp"
 #include "stream/shutdown.hpp"
+#include "util/args.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 
-namespace {
-
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: cgcd (--input PATH|- | --generate) [options]\n"
-      "  --days D --sampling R --rate X --batch N\n"
-      "  --width S --slide S --lag S --late drop|absorb\n"
-      "  --error A --rate-bins N --spill DIR\n"
-      "  --query priority_mix|job_cdf|task_cdf|submission|host_load|"
-      "queue|noise|all\n"
-      "  --window I --strict\n");
-  return cgc::util::kExitUsage;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   cgc::stream::install_shutdown_handlers();
+  cgc::util::Args args("cgcd", "online characterization daemon");
+  args.add_string("input", "",
+                  "trace file (any Loader format) or \"-\" for a Google "
+                  "task_events pipe on stdin");
+  args.add_bool("generate", "synthesize a Google-model workload instead");
+  args.add_double("days", 2.0, "generated workload horizon in days");
+  args.add_double("sampling", 0.25, "generated task sampling rate");
+  args.add_double("rate", 0.0,
+                  "replay speedup: trace seconds per wall second "
+                  "(0 = unthrottled)");
+  args.add_int("batch", 8192, "events per ingest batch");
+  args.add_int("width", 3600, "window width in seconds");
+  args.add_int("slide", 0, "window slide in seconds (0 = width, tumbling)");
+  args.add_int("lag", 300, "watermark lag in seconds");
+  args.add_string("late", "drop", "late-event policy: drop | absorb");
+  args.add_double("error", 0.01, "sketch relative error");
+  args.add_int("rate-bins", 60, "noise sub-bins per window");
+  args.add_string("spill", "",
+                  "durable spill of closed windows (CGCS + JSONL)");
+  args.add_list("query",
+                "metric to answer (repeatable): priority_mix | job_cdf | "
+                "task_cdf | submission | host_load | queue | noise | all");
+  args.add_int("window", -1, "query window index (-1 = latest closed)");
+  args.add_bool("strict",
+                "fail on trace parse damage instead of counting it");
+  args.add_usage_note(
+      "One of --input or --generate is required.\n"
+      "Exit codes: 0 clean; 1 degraded stream or data error; 2 usage;\n"
+      "3 fatal.");
+  switch (args.parse(argc, argv)) {
+    case cgc::util::ParseStatus::kHelp:
+      return cgc::util::kExitOk;
+    case cgc::util::ParseStatus::kError:
+      return cgc::util::kExitUsage;
+    case cgc::util::ParseStatus::kOk:
+      break;
+  }
+
   cgc::stream::DaemonConfig config;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const bool has_value = i + 1 < argc;
-    if (arg == "--generate") {
-      config.generate = true;
-    } else if (arg == "--strict") {
-      config.strict_load = true;
-    } else if (!has_value) {
-      return usage();
-    } else if (arg == "--input") {
-      config.input = argv[++i];
-    } else if (arg == "--days") {
-      config.generate_days = std::atof(argv[++i]);
-    } else if (arg == "--sampling") {
-      config.task_sampling_rate = std::atof(argv[++i]);
-    } else if (arg == "--rate") {
-      config.rate = std::atof(argv[++i]);
-    } else if (arg == "--batch") {
-      config.batch_size = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (arg == "--width") {
-      config.window.width = std::atoll(argv[++i]);
-    } else if (arg == "--slide") {
-      config.window.slide = std::atoll(argv[++i]);
-    } else if (arg == "--lag") {
-      config.window.watermark_lag = std::atoll(argv[++i]);
-    } else if (arg == "--late") {
-      const std::string policy = argv[++i];
-      if (policy == "drop") {
-        config.window.late_policy = cgc::stream::LatePolicy::kDrop;
-      } else if (policy == "absorb") {
-        config.window.late_policy = cgc::stream::LatePolicy::kAbsorbOldest;
-      } else {
-        return usage();
-      }
-    } else if (arg == "--error") {
-      config.window.relative_error = std::atof(argv[++i]);
-    } else if (arg == "--rate-bins") {
-      config.window.rate_bins =
-          static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (arg == "--spill") {
-      config.spill_dir = argv[++i];
-    } else if (arg == "--query") {
-      config.queries.emplace_back(argv[++i]);
-    } else if (arg == "--window") {
-      config.query_window = std::atoll(argv[++i]);
-    } else {
-      return usage();
-    }
+  config.input = args.get_string("input");
+  config.generate = args.get_bool("generate");
+  config.strict_load = args.get_bool("strict");
+  config.generate_days = args.get_double("days");
+  config.task_sampling_rate = args.get_double("sampling");
+  config.rate = args.get_double("rate");
+  config.batch_size = static_cast<std::size_t>(args.get_int("batch"));
+  config.window.width = args.get_int("width");
+  config.window.slide = args.get_int("slide");
+  config.window.watermark_lag = args.get_int("lag");
+  config.window.relative_error = args.get_double("error");
+  config.window.rate_bins =
+      static_cast<std::size_t>(args.get_int("rate-bins"));
+  config.spill_dir = args.get_string("spill");
+  config.queries = args.get_list("query");
+  config.query_window = args.get_int("window");
+
+  const auto fail_usage = [&](const std::string& message) {
+    std::fprintf(stderr, "%s\n%s", message.c_str(), args.usage().c_str());
+    return cgc::util::kExitUsage;
+  };
+  const std::string& late = args.get_string("late");
+  if (late == "drop") {
+    config.window.late_policy = cgc::stream::LatePolicy::kDrop;
+  } else if (late == "absorb") {
+    config.window.late_policy = cgc::stream::LatePolicy::kAbsorbOldest;
+  } else {
+    return fail_usage("--late must be drop or absorb, got " + late);
+  }
+  if (!args.positionals().empty()) {
+    return fail_usage("cgcd takes no positional arguments");
   }
   if (!config.generate && config.input.empty()) {
-    return usage();
+    return fail_usage("one of --input or --generate is required");
   }
   for (const std::string& query : config.queries) {
     if (!cgc::stream::is_known_query(query)) {
-      std::fprintf(stderr, "unknown query: %s\n", query.c_str());
-      return usage();
+      return fail_usage("unknown query: " + query);
     }
   }
   if (config.batch_size == 0 || config.window.rate_bins == 0) {
-    return usage();
+    return fail_usage("--batch and --rate-bins must be positive");
   }
   try {
     return cgc::stream::run_daemon(config, std::cin, std::cout);

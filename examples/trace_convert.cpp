@@ -31,6 +31,7 @@
 #include "trace/loader.hpp"
 #include "trace/swf_format.hpp"
 #include "trace/validate.hpp"
+#include "util/args.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/time_util.hpp"
@@ -89,40 +90,60 @@ void write_any(const trace::TraceSet& trace, const std::string& path) {
   }
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  trace_convert generate google <out_dir> [days]\n"
-               "  trace_convert generate <grid_system> <out.gwf> [days]\n"
-               "  trace_convert google-to-swf <google_dir> <out.swf>\n"
-               "  trace_convert gwa-to-swf <in.gwf> <out.swf>\n"
-               "  trace_convert swf-to-gwa <in.swf> <out.gwf>\n"
-               "  trace_convert to-cgcs <google_dir|in.swf|in.gwf> "
-               "<out.cgcs>\n"
-               "  trace_convert from-cgcs <in.cgcs> "
-               "<google_dir|out.swf|out.gwf>\n"
-               "  trace_convert info <google_dir | file.swf | file.gwf | "
-               "file.cgcs>\n"
-               "grid systems: AuverGrid NorduGrid SHARCNET ANL RICC "
-               "METACENTRUM LLNL-Atlas DAS-2\n");
-  return cgc::util::kExitUsage;
+/// Builds the shared flag parser; the subcommand and its paths stay
+/// positional (`trace_convert <command> <in> <out>`).
+util::Args make_args() {
+  util::Args args("trace_convert",
+                  "trace generation and format conversion");
+  args.add_int("days", 2, "generated workload horizon in days (generate)");
+  args.set_positional_help(
+      "<command> [args...]",
+      "one of the subcommands below with its input/output paths");
+  args.add_usage_note(
+      "subcommands:\n"
+      "  generate google <out_dir> [days]\n"
+      "  generate <grid_system> <out.gwf> [days]\n"
+      "  google-to-swf <google_dir> <out.swf>\n"
+      "  gwa-to-swf <in.gwf> <out.swf>\n"
+      "  swf-to-gwa <in.swf> <out.gwf>\n"
+      "  to-cgcs <google_dir|in.swf|in.gwf> <out.cgcs>\n"
+      "  from-cgcs <in.cgcs> <google_dir|out.swf|out.gwf>\n"
+      "  info <google_dir | file.swf | file.gwf | file.cgcs>\n"
+      "grid systems: AuverGrid NorduGrid SHARCNET ANL RICC "
+      "METACENTRUM LLNL-Atlas DAS-2");
+  return args;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  util::Args args = make_args();
+  switch (args.parse(argc, argv)) {
+    case util::ParseStatus::kHelp:
+      return util::kExitOk;
+    case util::ParseStatus::kError:
+      return util::kExitUsage;
+    case util::ParseStatus::kOk:
+      break;
+  }
+  const std::vector<std::string>& pos = args.positionals();
+  const auto usage = [&]() {
+    std::fprintf(stderr, "%s", args.usage().c_str());
+    return util::kExitUsage;
+  };
+  if (pos.size() < 2) {
     return usage();
   }
-  const std::string command = argv[1];
+  const std::string& command = pos[0];
   try {
     if (command == "generate") {
-      if (argc < 4) {
+      if (pos.size() < 3) {
         return usage();
       }
-      const std::string what = argv[2];
-      const std::string out = argv[3];
-      const int days = argc > 4 ? std::atoi(argv[4]) : 2;
+      const std::string& what = pos[1];
+      const std::string& out = pos[2];
+      const std::int64_t days =
+          pos.size() > 3 ? std::atoll(pos[3].c_str()) : args.get_int("days");
       const util::TimeSec horizon = days * util::kSecondsPerDay;
       if (what == "google") {
         // A compact host-load simulation: produces all three tables.
@@ -144,55 +165,59 @@ int main(int argc, char** argv) {
             trace::write_gwa(trace, out);
             std::printf("wrote GWA trace to %s\n", out.c_str());
             print_summary(trace);
-            return 0;
+            return util::kExitOk;
           }
         }
         std::fprintf(stderr, "unknown system: %s\n", what.c_str());
-        return cgc::util::kExitUsage;
+        return usage();
       }
     } else if (command == "google-to-swf") {
-      if (argc < 4) {
+      if (pos.size() < 3) {
         return usage();
       }
       const trace::TraceSet trace =
-          load_any(argv[2], trace::TraceFormat::kGoogleCsv);
-      trace::write_swf(trace, argv[3]);
-      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
+          load_any(pos[1], trace::TraceFormat::kGoogleCsv);
+      trace::write_swf(trace, pos[2]);
+      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(),
+                  pos[2].c_str());
     } else if (command == "gwa-to-swf") {
-      if (argc < 4) {
+      if (pos.size() < 3) {
         return usage();
       }
       const trace::TraceSet trace =
-          load_any(argv[2], trace::TraceFormat::kGwa);
-      trace::write_swf(trace, argv[3]);
-      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
+          load_any(pos[1], trace::TraceFormat::kGwa);
+      trace::write_swf(trace, pos[2]);
+      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(),
+                  pos[2].c_str());
     } else if (command == "swf-to-gwa") {
-      if (argc < 4) {
+      if (pos.size() < 3) {
         return usage();
       }
       const trace::TraceSet trace =
-          load_any(argv[2], trace::TraceFormat::kSwf);
-      trace::write_gwa(trace, argv[3]);
-      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
-    } else if (command == "to-cgcs" || command == "--to-cgcs") {
-      if (argc < 4) {
+          load_any(pos[1], trace::TraceFormat::kSwf);
+      trace::write_gwa(trace, pos[2]);
+      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(),
+                  pos[2].c_str());
+    } else if (command == "to-cgcs") {
+      if (pos.size() < 3) {
         return usage();
       }
-      const trace::TraceSet trace = load_any(argv[2]);
-      store::write_cgcs(trace, argv[3]);
+      const trace::TraceSet trace = load_any(pos[1]);
+      store::write_cgcs(trace, pos[2]);
       const trace::TraceSummary s = trace.summary();
       std::printf("wrote %zu jobs / %zu events / %zu samples to %s\n",
-                  s.num_jobs, s.num_events, s.num_samples, argv[3]);
-    } else if (command == "from-cgcs" || command == "--from-cgcs") {
-      if (argc < 4) {
+                  s.num_jobs, s.num_events, s.num_samples, pos[2].c_str());
+    } else if (command == "from-cgcs") {
+      if (pos.size() < 3) {
         return usage();
       }
       const trace::TraceSet trace =
-          load_any(argv[2], trace::TraceFormat::kCgcs);
-      write_any(trace, argv[3]);
-      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(), argv[3]);
+          load_any(pos[1], trace::TraceFormat::kCgcs);
+      write_any(trace, pos[2]);
+      std::printf("wrote %zu jobs to %s\n", trace.jobs().size(),
+                  pos[2].c_str());
     } else if (command == "info") {
-      const std::string target = argv[2];
+      const std::string& target = pos[1];
       const trace::TraceFormat format = trace::Loader::detect(target);
       std::printf("detected format: %s\n", trace::format_name(format));
       if (format == trace::TraceFormat::kCgcs) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gen/arrival.hpp"
+#include "gen/workload_model.hpp"
 #include "sim/task_spec.hpp"
 #include "trace/trace_set.hpp"
 
@@ -128,26 +129,34 @@ struct GoogleModelConfig {
   std::uint64_t seed = 20120924;  // CLUSTER'12 conference date
 };
 
-class GoogleWorkloadModel {
+class GoogleWorkloadModel : public WorkloadModel {
  public:
   explicit GoogleWorkloadModel(GoogleModelConfig config = {});
 
   const GoogleModelConfig& config() const { return config_; }
 
+  /// Always "google" — the paper's cloud system.
+  const std::string& name() const override { return name_; }
+
   /// Full-rate workload-only trace (jobs and tasks; no machines).
-  trace::TraceSet generate_workload(util::TimeSec horizon) const;
+  trace::TraceSet generate_workload(util::TimeSec horizon) const override;
 
   /// Heterogeneous machine park with the paper's capacity groups (Fig 7).
-  std::vector<trace::Machine> make_machines(std::size_t count) const;
+  std::vector<trace::Machine> make_machines(
+      std::size_t count) const override;
 
   /// Task specs for a host-load simulation over `num_machines` machines;
   /// arrival rate is scaled so steady-state concurrency matches
   /// config.target_running_per_machine.
   sim::Workload generate_sim_workload(util::TimeSec horizon,
-                                      std::size_t num_machines) const;
+                                      std::size_t num_machines) const override;
+
+  /// The calibration seed (GoogleModelConfig::seed).
+  std::uint64_t base_seed() const override { return config_.seed; }
 
  private:
   GoogleModelConfig config_;
+  std::string name_ = "google";
 };
 
 }  // namespace cgc::gen

@@ -1,6 +1,7 @@
 #include "gen/grid_model.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 
 #include "stats/distributions.hpp"
@@ -54,6 +55,11 @@ GridWorkloadModel::GridWorkloadModel(GridSystemPreset preset)
     : preset_(std::move(preset)) {
   CGC_CHECK(!preset_.procs.empty());
   CGC_CHECK(preset_.jobs_per_hour > 0.0);
+  name_.reserve(preset_.name.size());
+  for (char c : preset_.name) {
+    name_.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
 }
 
 trace::TraceSet GridWorkloadModel::generate_workload(

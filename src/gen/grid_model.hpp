@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gen/arrival.hpp"
+#include "gen/workload_model.hpp"
 #include "sim/config.hpp"
 #include "sim/task_spec.hpp"
 #include "trace/trace_set.hpp"
@@ -73,29 +74,43 @@ GridSystemPreset llnl_atlas();
 std::vector<GridSystemPreset> all();
 }  // namespace presets
 
-class GridWorkloadModel {
+class GridWorkloadModel : public WorkloadModel {
  public:
   explicit GridWorkloadModel(GridSystemPreset preset);
 
   const GridSystemPreset& preset() const { return preset_; }
 
+  /// Lowercased preset name ("auvergrid", "das-2", ...), stable for use
+  /// in scenario keys.
+  const std::string& name() const override { return name_; }
+
   /// Full-rate workload-only trace (jobs + single parallel task each).
-  trace::TraceSet generate_workload(util::TimeSec horizon) const;
+  trace::TraceSet generate_workload(util::TimeSec horizon) const override;
 
   /// Homogeneous grid nodes (capacity 1.0 CPU / 1.0 memory).
-  std::vector<trace::Machine> make_machines(std::size_t count) const;
+  std::vector<trace::Machine> make_machines(
+      std::size_t count) const override;
 
   /// Task specs for a host-load simulation: one task per allocated node,
   /// CPU-bound and steady, rate scaled to the preset's node utilization.
   sim::Workload generate_sim_workload(util::TimeSec horizon,
-                                      std::size_t num_machines) const;
+                                      std::size_t num_machines) const override;
 
   /// Simulator settings appropriate for a grid cluster (no preemption,
   /// negligible usage jitter).
   static void apply_grid_sim_defaults(sim::SimConfig* config);
 
+  /// Instance form of apply_grid_sim_defaults, for polymorphic callers.
+  void apply_sim_defaults(sim::SimConfig* config) const override {
+    apply_grid_sim_defaults(config);
+  }
+
+  /// The preset seed (GridSystemPreset::seed).
+  std::uint64_t base_seed() const override { return preset_.seed; }
+
  private:
   GridSystemPreset preset_;
+  std::string name_;
 };
 
 }  // namespace cgc::gen

@@ -1,0 +1,136 @@
+#include "plan/matrix.hpp"
+
+#include "sweep/partition.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace cgc::plan {
+
+std::uint64_t ScenarioMatrix::digest() const {
+  std::string joined;
+  for (const ScenarioSpec& s : scenarios) {
+    joined += s.key();
+    joined += '\n';
+  }
+  return sweep::stable_case_hash(joined);
+}
+
+MatrixBuilder::MatrixBuilder(std::string name, ScenarioSpec base)
+    : name_(std::move(name)), base_(std::move(base)) {
+  fleets_ = {base_.fleet};
+  workloads_ = {WorkloadProfile{"base", base_.workload, base_.hetero_mix}};
+  placements_ = {base_.placement};
+  preemptions_ = {base_.preemption};
+  remaps_ = {base_.remap};
+  target_utilizations_ = {base_.target_utilization};
+}
+
+MatrixBuilder& MatrixBuilder::fleets(std::vector<std::size_t> values) {
+  fleets_ = std::move(values);
+  return *this;
+}
+
+MatrixBuilder& MatrixBuilder::workloads(std::vector<WorkloadProfile> values) {
+  workloads_ = std::move(values);
+  return *this;
+}
+
+MatrixBuilder& MatrixBuilder::placements(
+    std::vector<sim::PlacementPolicy> values) {
+  placements_ = std::move(values);
+  return *this;
+}
+
+MatrixBuilder& MatrixBuilder::preemptions(std::vector<bool> values) {
+  preemptions_ = std::move(values);
+  return *this;
+}
+
+MatrixBuilder& MatrixBuilder::remaps(std::vector<PriorityRemap> values) {
+  remaps_ = std::move(values);
+  return *this;
+}
+
+MatrixBuilder& MatrixBuilder::target_utilizations(std::vector<double> values) {
+  target_utilizations_ = std::move(values);
+  return *this;
+}
+
+ScenarioMatrix MatrixBuilder::build() const {
+  if (fleets_.empty() || workloads_.empty() || placements_.empty() ||
+      preemptions_.empty() || remaps_.empty() ||
+      target_utilizations_.empty()) {
+    throw util::FatalError("matrix \"" + name_ + "\" has an empty axis");
+  }
+  ScenarioMatrix matrix;
+  matrix.name = name_;
+  matrix.scenarios.reserve(fleets_.size() * workloads_.size() *
+                           placements_.size() * preemptions_.size() *
+                           remaps_.size() * target_utilizations_.size());
+  // Frozen expansion order — see the class comment.
+  for (const std::size_t fleet : fleets_) {
+    for (const WorkloadProfile& profile : workloads_) {
+      CGC_CHECK_MSG(!profile.components.empty(),
+                    "workload profile \"" + profile.name + "\" is empty");
+      for (const sim::PlacementPolicy placement : placements_) {
+        for (const bool preemption : preemptions_) {
+          for (const PriorityRemap remap : remaps_) {
+            for (const double util : target_utilizations_) {
+              ScenarioSpec spec = base_;
+              spec.fleet = fleet;
+              spec.workload = profile.components;
+              spec.hetero_mix = profile.hetero_mix;
+              spec.placement = placement;
+              spec.preemption = preemption;
+              spec.remap = remap;
+              spec.target_utilization = util;
+              matrix.scenarios.push_back(std::move(spec));
+            }
+          }
+        }
+      }
+    }
+  }
+  return matrix;
+}
+
+ScenarioMatrix default_matrix(util::TimeSec horizon) {
+  ScenarioSpec base;
+  base.horizon = horizon;
+  return MatrixBuilder("default", base)
+      .fleets({16, 32, 48, 64})
+      .workloads({
+          WorkloadProfile{"google", {{"google", 1.0}}, 1.0},
+          WorkloadProfile{"auvergrid", {{"auvergrid", 1.0}}, 0.0},
+          WorkloadProfile{
+              "blend-70-30", {{"google", 0.7}, {"auvergrid", 0.3}}, 0.7},
+      })
+      .placements({sim::PlacementPolicy::kBalanced,
+                   sim::PlacementPolicy::kBestFit,
+                   sim::PlacementPolicy::kWorstFit,
+                   sim::PlacementPolicy::kFirstFit})
+      .preemptions({true, false})
+      .remaps({PriorityRemap::kNone, PriorityRemap::kFlatten,
+               PriorityRemap::kInvert})
+      .target_utilizations({0.65, 0.85})
+      .build();
+}
+
+ScenarioMatrix small_matrix(util::TimeSec horizon) {
+  ScenarioSpec base;
+  base.horizon = horizon;
+  base.fleet = 8;
+  return MatrixBuilder("small", base)
+      .workloads({
+          WorkloadProfile{"google", {{"google", 1.0}}, 1.0},
+          // Grid-on-Cloud cross-replay: grid jobs on the heterogeneous
+          // cloud park.
+          WorkloadProfile{"auvergrid-on-cloud", {{"auvergrid", 1.0}}, 1.0},
+      })
+      .placements({sim::PlacementPolicy::kBalanced,
+                   sim::PlacementPolicy::kFirstFit})
+      .preemptions({true, false})
+      .build();
+}
+
+}  // namespace cgc::plan

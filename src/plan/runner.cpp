@@ -1,0 +1,263 @@
+#include "plan/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <unordered_map>
+
+#include "exec/parallel.hpp"
+#include "fault/fault.hpp"
+#include "gen/workload_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/span.hpp"
+#include "plan/plan_io.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace cgc::plan {
+
+namespace {
+
+/// Per-component generator seed: a stable hash of (scenario key,
+/// component index), so components decorrelate and a scenario's
+/// workload never depends on anything outside its spec.
+std::uint64_t component_seed(const ScenarioSpec& spec, std::size_t idx) {
+  const std::uint64_t h =
+      sweep::stable_case_hash(spec.key() + "|component|" +
+                              std::to_string(idx));
+  return h == 0 ? 1 : h;  // 0 means "keep the model default"; avoid it
+}
+
+std::uint8_t remap_priority(PriorityRemap remap, std::uint8_t priority) {
+  switch (remap) {
+    case PriorityRemap::kNone:
+      return priority;
+    case PriorityRemap::kFlatten:
+      return 5;  // one mid tier: no preemption ladder left
+    case PriorityRemap::kInvert:
+      return static_cast<std::uint8_t>(13 - priority);
+  }
+  return priority;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.spec = spec;
+  result.id = scenario_id(spec);
+  obs::ScopedTimer timer("plan.scenario_ns");
+  // Deterministic injection point for crash/retry tests: keyed on the
+  // scenario id hash, so which scenarios fail is independent of thread
+  // count, shard layout and execution order.
+  fault::maybe_throw("plan.scenario_fail",
+                     sweep::stable_case_hash(result.id),
+                     fault::ErrorKind::kTransient);
+  CGC_CHECK_MSG(spec.fleet > 0, "scenario fleet must be non-empty");
+  CGC_CHECK_MSG(spec.horizon > 0, "scenario horizon must be positive");
+  CGC_CHECK_MSG(spec.hetero_mix >= 0.0 && spec.hetero_mix <= 1.0,
+                "hetero_mix must be in [0, 1]");
+
+  // Machine park: hetero_mix of the fleet from the Google heterogeneous
+  // capacity groups, the rest uniform grid nodes (all grid presets
+  // build identical 1.0/1.0 nodes; auvergrid stands in for them).
+  const std::size_t n_cloud = static_cast<std::size_t>(
+      std::llround(spec.hetero_mix * static_cast<double>(spec.fleet)));
+  const std::size_t n_grid = spec.fleet - n_cloud;
+  std::vector<trace::Machine> machines;
+  machines.reserve(spec.fleet);
+  if (n_cloud > 0) {
+    auto cloud = gen::make_workload_model("google", spec.seed);
+    auto park = cloud->make_machines(n_cloud);
+    machines.insert(machines.end(), park.begin(), park.end());
+  }
+  if (n_grid > 0) {
+    auto grid = gen::make_workload_model("auvergrid", spec.seed);
+    auto nodes = grid->make_machines(n_grid);
+    machines.insert(machines.end(), nodes.begin(), nodes.end());
+  }
+  // Re-id the composed park: each model numbers its own machines from
+  // 1, which would collide.
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    machines[i].machine_id = static_cast<std::int64_t>(i + 1);
+  }
+
+  // Workload: each component generated at the rate its model would use
+  // for weight * fleet machines, job ids offset per component, merged
+  // by (submit, job, task) so the stream is one deterministic sequence.
+  sim::SimConfig sim_config;
+  bool pure_grid = spec.hetero_mix == 0.0;
+  sim::Workload workload;
+  for (std::size_t c = 0; c < spec.workload.size(); ++c) {
+    const WorkloadComponent& component = spec.workload[c];
+    CGC_CHECK_MSG(component.weight > 0.0,
+                  "workload component weight must be positive");
+    auto model =
+        gen::make_workload_model(component.model, component_seed(spec, c));
+    if (model->name() == "google") {
+      pure_grid = false;
+    } else if (pure_grid && c == 0) {
+      // A pure grid cluster simulates with grid dynamics (no
+      // preemption default, steady hosts); spec fields still override
+      // below, so the preemption axis stays honest.
+      model->apply_sim_defaults(&sim_config);
+    }
+    const std::size_t scaled = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               component.weight * static_cast<double>(spec.fleet))));
+    sim::Workload part = model->generate_sim_workload(spec.horizon, scaled);
+    const std::int64_t job_offset = static_cast<std::int64_t>(c) << 40;
+    for (sim::TaskSpec& task : part) {
+      task.job_id += job_offset;
+      if (spec.remap != PriorityRemap::kNone) {
+        task.priority = remap_priority(spec.remap, task.priority);
+      }
+      workload.push_back(task);
+    }
+  }
+  std::sort(workload.begin(), workload.end(),
+            [](const sim::TaskSpec& a, const sim::TaskSpec& b) {
+              if (a.submit_time != b.submit_time) {
+                return a.submit_time < b.submit_time;
+              }
+              if (a.job_id != b.job_id) {
+                return a.job_id < b.job_id;
+              }
+              return a.task_index < b.task_index;
+            });
+
+  // Fast path: planning reads host-load samples and SimStats only.
+  sim_config.horizon = spec.horizon;
+  sim_config.placement = spec.placement;
+  sim_config.preemption = spec.preemption;
+  sim_config.record_events = false;
+  sim_config.record_tasks = false;
+  sim_config.record_host_load = true;
+  sim_config.seed = spec.seed;
+
+  sim::ClusterSim sim(std::move(machines), sim_config);
+  const trace::TraceSet trace = sim.run(workload, "plan-" + result.id);
+  result.score = score_run(spec, trace, sim.stats());
+  result.ok = true;
+  if (obs::metrics_enabled()) {
+    static obs::Counter& scenarios = obs::counter("plan.scenarios");
+    scenarios.add(1);
+  }
+  return result;
+}
+
+PlanRunner::PlanRunner(ScenarioMatrix matrix, PlanConfig config)
+    : matrix_(std::move(matrix)), config_(std::move(config)) {
+  CGC_CHECK_MSG(config_.checkpoint_batch > 0,
+                "checkpoint batch must be positive");
+  for (std::size_t i = 0; i < matrix_.scenarios.size(); ++i) {
+    if (sweep::owns(config_.shard, scenario_id(matrix_.scenarios[i]))) {
+      owned_.push_back(i);
+    }
+  }
+}
+
+std::vector<ScenarioResult> PlanRunner::run() {
+  resumed_ = 0;
+  const std::uint64_t digest = matrix_.digest();
+  std::unordered_map<std::string, ScenarioResult> done;
+
+  const bool checkpointing = !config_.out_dir.empty();
+  std::string path;
+  if (checkpointing) {
+    std::filesystem::create_directories(config_.out_dir);
+    path = shard_results_path(config_.out_dir, config_.shard);
+  }
+  if (checkpointing && config_.resume) {
+    ShardResults prev;
+    const ReadStatus status = read_results(path, matrix_, &prev);
+    if (status == ReadStatus::kCorrupt) {
+      // Torn checkpoint: quarantine it and start the shard over — the
+      // same loud-but-resumable policy as the sweep driver.
+      const std::string quarantined = path + ".corrupt";
+      std::error_code ec;
+      std::filesystem::rename(path, quarantined, ec);
+      CGC_LOG(kWarn) << "plan: quarantined torn checkpoint " << path;
+    } else if (status == ReadStatus::kOk) {
+      if (prev.matrix_digest != digest) {
+        throw util::DataError(
+            "--resume: checkpoint " + path +
+            " belongs to a different matrix (digest mismatch); remove it "
+            "or point --out elsewhere");
+      }
+      for (ScenarioResult& r : prev.results) {
+        if (r.ok) {  // failed scenarios are retried, not resumed
+          done.emplace(r.id, std::move(r));
+        }
+      }
+      resumed_ = done.size();
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  for (const std::size_t idx : owned_) {
+    if (done.find(scenario_id(matrix_.scenarios[idx])) == done.end()) {
+      pending.push_back(idx);
+    }
+  }
+
+  const auto snapshot = [&](bool complete) {
+    ShardResults out;
+    out.matrix_name = matrix_.name;
+    out.matrix_digest = digest;
+    out.shard = config_.shard;
+    out.complete = complete;
+    for (const std::size_t idx : owned_) {
+      const auto it = done.find(scenario_id(matrix_.scenarios[idx]));
+      if (it != done.end()) {
+        out.results.push_back(it->second);
+      }
+    }
+    return out;
+  };
+
+  for (std::size_t start = 0; start < pending.size();
+       start += config_.checkpoint_batch) {
+    const std::size_t count =
+        std::min(config_.checkpoint_batch, pending.size() - start);
+    // parallel_map returns results in index order — the batch's outcome
+    // is independent of CGC_THREADS by construction.
+    std::vector<ScenarioResult> batch =
+        exec::parallel_map<ScenarioResult>(count, [&](std::size_t i) {
+          const ScenarioSpec& spec =
+              matrix_.scenarios[pending[start + i]];
+          try {
+            return run_scenario(spec);
+          } catch (const util::TransientError& e) {
+            ScenarioResult failed;
+            failed.spec = spec;
+            failed.id = scenario_id(spec);
+            failed.error = std::string("transient: ") + e.what();
+            return failed;
+          } catch (const util::DataError& e) {
+            ScenarioResult failed;
+            failed.spec = spec;
+            failed.id = scenario_id(spec);
+            failed.error = std::string("data: ") + e.what();
+            return failed;
+          }
+        },
+        /*grain=*/1);  // scenarios are seconds each; never batch them
+    for (ScenarioResult& r : batch) {
+      done.emplace(r.id, std::move(r));
+    }
+    if (checkpointing) {
+      write_results(path, snapshot(start + count >= pending.size()));
+    }
+  }
+  if (checkpointing && pending.empty()) {
+    // Nothing ran (fully resumed shard): still reseal as complete so a
+    // later --merge sees a finished shard.
+    write_results(path, snapshot(true));
+  }
+  return snapshot(true).results;
+}
+
+}  // namespace cgc::plan

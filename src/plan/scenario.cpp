@@ -1,0 +1,67 @@
+#include "plan/scenario.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sweep/partition.hpp"
+#include "util/check.hpp"
+
+namespace cgc::plan {
+
+namespace {
+
+/// Frozen float formatting for key() — %.10g round-trips every value a
+/// matrix axis realistically uses and never prints locale-dependent
+/// separators.
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view remap_name(PriorityRemap remap) {
+  switch (remap) {
+    case PriorityRemap::kNone:
+      return "none";
+    case PriorityRemap::kFlatten:
+      return "flatten";
+    case PriorityRemap::kInvert:
+      return "invert";
+  }
+  return "none";
+}
+
+std::string ScenarioSpec::key() const {
+  CGC_CHECK_MSG(!workload.empty(), "scenario workload mix must be non-empty");
+  std::string k;
+  k.reserve(160);
+  k += "fleet=" + std::to_string(fleet);
+  k += ";horizon=" + std::to_string(horizon);
+  k += ";workload=";
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    if (i > 0) {
+      k += '+';
+    }
+    k += workload[i].model + ":" + fmt(workload[i].weight);
+  }
+  k += ";mix=" + fmt(hetero_mix);
+  k += ";preempt=" + std::string(preemption ? "1" : "0");
+  k += ";remap=" + std::string(remap_name(remap));
+  k += ";place=" + std::string(sim::placement_name(placement));
+  k += ";util=" + fmt(target_utilization);
+  k += ";cost=" + fmt(cost_per_machine_hour);
+  k += ";slo=" + fmt(slo_wait_s);
+  k += ";seed=" + std::to_string(seed);
+  return k;
+}
+
+std::string scenario_id(const ScenarioSpec& spec) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "s%016" PRIx64,
+                sweep::stable_case_hash(spec.key()));
+  return buf;
+}
+
+}  // namespace cgc::plan

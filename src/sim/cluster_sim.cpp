@@ -389,6 +389,7 @@ struct ClusterSim::Impl {
 
   void enqueue_pending(TimeSec now, std::uint32_t task) {
     tasks.state[task] = static_cast<std::uint8_t>(trace::TaskState::kPending);
+    tasks.pending_since[task] = now;
     pending.push(tasks, tstatic[task].priority, static_cast<std::int32_t>(task));
     stats.max_pending_depth = std::max(stats.max_pending_depth, pending.total);
     record(now, task, TaskEventType::kSubmit, -1);
@@ -474,6 +475,10 @@ struct ClusterSim::Impl {
                                            ts.mem_usage, ts.page_cache,
                                            ts.priority, ts.band});
     ++stats.scheduled;
+    if (tasks.pending_since[task] >= 0) {
+      stats.record_wait(now - tasks.pending_since[task]);
+      tasks.pending_since[task] = -1;
+    }
     record(now, task, TaskEventType::kSchedule, machines.machine_id[m]);
 
     // Isolation eviction: a freshly placed mid/high-priority task may

@@ -67,6 +67,81 @@ struct SimStats {
   /// CGC_FAULT_SPEC armed a sim.* site.
   std::int64_t faults_injected = 0;
 
+  /// Number of log2 queue-wait buckets (covers 0 s through ~17k years).
+  static constexpr int kWaitBuckets = 40;
+  /// Queue-wait histogram over SCHEDULE events: bucket 0 counts
+  /// zero-second waits, bucket i >= 1 counts waits in [2^(i-1), 2^i)
+  /// seconds (the last bucket absorbs the overflow). Integer counts of
+  /// integer waits, so the histogram — and every quantile derived from
+  /// it — is bit-identical at any CGC_THREADS.
+  std::int64_t wait_histogram[kWaitBuckets] = {};
+  /// SCHEDULE events accounted in wait_histogram (== scheduled).
+  std::int64_t wait_count = 0;
+  /// Sum of all recorded waits in seconds (mean = wait_sum_s / count).
+  std::int64_t wait_sum_s = 0;
+
+  /// Buckets `wait_s` (pending → placement delay) into wait_histogram.
+  void record_wait(std::int64_t wait_s) {
+    int bucket = 0;
+    if (wait_s > 0) {
+      while (bucket + 1 < kWaitBuckets &&
+             (std::int64_t{1} << bucket) <= wait_s) {
+        ++bucket;
+      }
+    }
+    ++wait_histogram[bucket];
+    ++wait_count;
+    wait_sum_s += wait_s > 0 ? wait_s : 0;
+  }
+
+  /// Queue-wait quantile as the upper edge of the bucket holding the
+  /// q-th placement (0 for bucket 0) — a deterministic upper bound with
+  /// 2x resolution, not an interpolated value. Returns 0 when no waits
+  /// were recorded.
+  double wait_quantile(double q) const {
+    if (wait_count <= 0) {
+      return 0.0;
+    }
+    std::int64_t target = static_cast<std::int64_t>(
+        q * static_cast<double>(wait_count));
+    if (target >= wait_count) {
+      target = wait_count - 1;
+    }
+    std::int64_t seen = 0;
+    for (int b = 0; b < kWaitBuckets; ++b) {
+      seen += wait_histogram[b];
+      if (seen > target) {
+        return b == 0 ? 0.0 : static_cast<double>(std::int64_t{1} << b);
+      }
+    }
+    return static_cast<double>(std::int64_t{1} << (kWaitBuckets - 1));
+  }
+
+  /// Mean queue wait in seconds (0 when nothing was placed).
+  double wait_mean_s() const {
+    return wait_count <= 0 ? 0.0
+                           : static_cast<double>(wait_sum_s) /
+                                 static_cast<double>(wait_count);
+  }
+
+  /// Fraction of placements whose wait landed in a bucket entirely at
+  /// or below `threshold_s` — the conservative (lower-bound) SLO
+  /// attainment used by cgc::plan's $/SLO score.
+  double wait_fraction_within(double threshold_s) const {
+    if (wait_count <= 0) {
+      return 1.0;
+    }
+    std::int64_t within = 0;
+    for (int b = 0; b < kWaitBuckets; ++b) {
+      const double upper =
+          b == 0 ? 0.0 : static_cast<double>(std::int64_t{1} << b);
+      if (upper <= threshold_s) {
+        within += wait_histogram[b];
+      }
+    }
+    return static_cast<double>(within) / static_cast<double>(wait_count);
+  }
+
   /// Terminal events of any kind (the paper's "task endings").
   std::int64_t terminal_events() const {
     return finished + failed + killed + evicted + lost;

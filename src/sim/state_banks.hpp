@@ -92,6 +92,9 @@ struct TaskBank {
   std::vector<std::uint32_t> pos_in_machine;
   /// Intrusive pending-FIFO link: next task slot, -1 = tail.
   std::vector<std::int32_t> next_pending;
+  /// Time the current pending stint began (queue-wait accounting for
+  /// SimStats::record_wait); -1 when the task is not pending.
+  std::vector<trace::TimeSec> pending_since;
   /// trace::TaskState, stored as its underlying byte.
   std::vector<std::uint8_t> state;
   /// Resubmissions left before a fail-fate is allowed to finish.
@@ -122,6 +125,7 @@ struct TaskBank {
     machine.resize(n, -1);
     pos_in_machine.resize(n, 0);
     next_pending.resize(n, -1);
+    pending_since.resize(n, -1);
     state.resize(n, static_cast<std::uint8_t>(trace::TaskState::kUnsubmitted));
     resubmits_left.resize(n, 0);
     first_submit.resize(n, -1);

@@ -1,0 +1,162 @@
+// util::Args contract tests: the one CLI parser every tool shares.
+// The behavioural contract under test is the one stated in
+// util/args.hpp: both --name value and --name=value forms, --help,
+// unknown-flag and malformed-value rejection, repeatable list flags,
+// and positional collection (including "-" as a flag value so
+// `--input -` keeps working).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/args.hpp"
+#include "util/check.hpp"
+
+namespace cgc::util {
+namespace {
+
+/// Runs args.parse over a brace-list of C-string tokens (argv[0] is
+/// the program name, as in a real invocation).
+ParseStatus parse(Args& args, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return args.parse(static_cast<int>(argv.size()),
+                    const_cast<char**>(argv.data()));
+}
+
+Args make_args() {
+  Args args("prog", "test tool");
+  args.add_string("name", "default", "a string");
+  args.add_int("count", 7, "an integer");
+  args.add_double("rate", 0.5, "a double");
+  args.add_bool("verbose", "a bool");
+  args.add_list("query", "a repeatable list");
+  return args;
+}
+
+TEST(ArgsTest, DefaultsApplyWhenFlagsAbsent) {
+  Args args = make_args();
+  ASSERT_EQ(parse(args, {}), ParseStatus::kOk);
+  EXPECT_EQ(args.get_string("name"), "default");
+  EXPECT_EQ(args.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.5);
+  EXPECT_FALSE(args.get_bool("verbose"));
+  EXPECT_TRUE(args.get_list("query").empty());
+  EXPECT_FALSE(args.provided("name"));
+}
+
+TEST(ArgsTest, SeparateAndInlineValueFormsAreEquivalent) {
+  Args a = make_args();
+  ASSERT_EQ(parse(a, {"--name", "x", "--count", "3", "--rate", "2.5"}),
+            ParseStatus::kOk);
+  Args b = make_args();
+  ASSERT_EQ(parse(b, {"--name=x", "--count=3", "--rate=2.5"}),
+            ParseStatus::kOk);
+  for (Args* args : {&a, &b}) {
+    EXPECT_EQ(args->get_string("name"), "x");
+    EXPECT_EQ(args->get_int("count"), 3);
+    EXPECT_DOUBLE_EQ(args->get_double("rate"), 2.5);
+    EXPECT_TRUE(args->provided("name"));
+  }
+}
+
+TEST(ArgsTest, BoolIsPresenceWithOptionalInlineValue) {
+  Args a = make_args();
+  ASSERT_EQ(parse(a, {"--verbose"}), ParseStatus::kOk);
+  EXPECT_TRUE(a.get_bool("verbose"));
+
+  Args b = make_args();
+  ASSERT_EQ(parse(b, {"--verbose=false"}), ParseStatus::kOk);
+  EXPECT_FALSE(b.get_bool("verbose"));
+  EXPECT_TRUE(b.provided("verbose"));
+
+  // A bare bool flag must not eat the next token as its value.
+  Args c = make_args();
+  ASSERT_EQ(parse(c, {"--verbose", "pos"}), ParseStatus::kOk);
+  EXPECT_TRUE(c.get_bool("verbose"));
+  ASSERT_EQ(c.positionals().size(), 1u);
+  EXPECT_EQ(c.positionals()[0], "pos");
+}
+
+TEST(ArgsTest, ListFlagsRepeat) {
+  Args args = make_args();
+  ASSERT_EQ(parse(args, {"--query", "a", "--query=b", "--query", "c"}),
+            ParseStatus::kOk);
+  EXPECT_EQ(args.get_list("query"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ArgsTest, PositionalsCollectInOrderIncludingDash) {
+  Args args = make_args();
+  ASSERT_EQ(parse(args, {"first", "--name", "-", "second"}),
+            ParseStatus::kOk);
+  // "-" was consumed as --name's value, not as a positional.
+  EXPECT_EQ(args.get_string("name"), "-");
+  EXPECT_EQ(args.positionals(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(ArgsTest, HelpShortCircuits) {
+  Args args = make_args();
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(parse(args, {"--help", "--bogus"}), ParseStatus::kHelp);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("usage: prog"), std::string::npos);
+  EXPECT_NE(out.find("--count"), std::string::npos);
+}
+
+TEST(ArgsTest, UnknownFlagIsAnError) {
+  Args args = make_args();
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(parse(args, {"--bogus"}), ParseStatus::kError);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("unknown flag --bogus"), std::string::npos);
+  EXPECT_NE(err.find("usage: prog"), std::string::npos);
+}
+
+TEST(ArgsTest, MalformedValuesAreErrors) {
+  for (const char* bad : {"--count=abc", "--count=12x", "--rate=zz",
+                          "--verbose=maybe"}) {
+    Args args = make_args();
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(parse(args, {bad}), ParseStatus::kError) << bad;
+    ::testing::internal::GetCapturedStderr();
+  }
+}
+
+TEST(ArgsTest, MissingValueIsAnError) {
+  Args args = make_args();
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(parse(args, {"--name"}), ParseStatus::kError);
+  ::testing::internal::GetCapturedStderr();
+}
+
+TEST(ArgsTest, NegativeNumbersParse) {
+  Args args = make_args();
+  ASSERT_EQ(parse(args, {"--count", "-3", "--rate", "-0.25"}),
+            ParseStatus::kOk);
+  EXPECT_EQ(args.get_int("count"), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), -0.25);
+}
+
+TEST(ArgsTest, UndeclaredOrWrongTypeAccessIsAProgrammerError) {
+  Args args = make_args();
+  ASSERT_EQ(parse(args, {}), ParseStatus::kOk);
+  EXPECT_THROW(args.get_string("nope"), cgc::util::Error);
+  EXPECT_THROW(args.get_int("name"), cgc::util::Error);
+  EXPECT_THROW(args.provided("nope"), cgc::util::Error);
+}
+
+TEST(ArgsTest, UsageListsFlagsDefaultsAndNotes) {
+  Args args = make_args();
+  args.set_positional_help("<file>", "the input file");
+  args.add_usage_note("Exit codes: 0 ok; 2 usage.");
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("usage: prog [flags] <file>"), std::string::npos);
+  EXPECT_NE(usage.find("(default 7)"), std::string::npos);
+  EXPECT_NE(usage.find("(default 0.5)"), std::string::npos);
+  EXPECT_NE(usage.find("Exit codes: 0 ok; 2 usage."), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgc::util

@@ -23,6 +23,7 @@ namespace {
 /// Every fault::inject / fault::maybe_throw site in src + bench.
 const char* const kFaultSites[] = {
     "io.read",
+    "plan.scenario_fail",
     "report.case",
     "report.case_stall",
     "sim.machine_outage",
@@ -39,6 +40,7 @@ const char* const kFaultSites[] = {
 const char* const kCounterSites[] = {
     "exec.chunks",
     "exec.regions",
+    "plan.scenarios",
     "sim.events",
     "sim.evictions",
     "sim.samples",
@@ -69,6 +71,7 @@ const char* const kGaugeSites[] = {
 /// Every obs::histogram / obs::ScopedTimer site in src + bench.
 const char* const kHistogramSites[] = {
     "exec.chunk_ns",
+    "plan.scenario_ns",
     "store.crc_ns",
     "store.decode_ns",
     "store.load_trace_set",

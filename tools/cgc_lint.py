@@ -57,6 +57,7 @@ SITE_CODE_DIRS = ("src", "bench", "examples")
 SITE_PREFIXES = (
     "exec",
     "io",
+    "plan",
     "report",
     "sim",
     "store",
@@ -77,7 +78,8 @@ NON_SITE_SUFFIXES = (
 # explicit path is given. The gate grows subsystem by subsystem; sim was
 # first (analyst-facing knobs), the concurrency/observability layers
 # (exec, util, fault, obs) joined with the static-analysis contract.
-DOC_ENFORCED_ROOTS = ("src/sim", "src/exec", "src/util", "src/fault", "src/obs")
+DOC_ENFORCED_ROOTS = (
+    "src/sim", "src/exec", "src/util", "src/fault", "src/obs", "src/plan")
 
 SUPPRESS_RE = re.compile(r"//\s*cgc-lint:\s*allow\(([a-z-]+)\)\s*(.*)$")
 
